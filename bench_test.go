@@ -1,0 +1,329 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6), plus micro-benchmarks of the core building blocks.
+//
+// The experiment benchmarks run the same code as cmd/spitfire-bench in
+// -quick mode (sizes shrunk 4x with every capacity ratio preserved).
+// Throughput inside an experiment is measured in simulated time; the
+// testing.B numbers measure the wall-clock cost of regenerating each
+// result. Custom metrics surface the headline simulated numbers.
+package spitfire_test
+
+import (
+	"fmt"
+	"testing"
+
+	spitfire "github.com/spitfire-db/spitfire"
+	"github.com/spitfire-db/spitfire/internal/harness"
+)
+
+// runExperiment is the common body for the per-figure benchmarks.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := harness.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(harness.Opts{Quick: true, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { runExperiment(b, "fig15") }
+
+// ---- micro-benchmarks --------------------------------------------------------
+
+// benchBM builds a small three-tier manager seeded with pages.
+func benchBM(b *testing.B, pol spitfire.Policy, pages int) (*spitfire.BufferManager, *spitfire.Ctx) {
+	b.Helper()
+	bm, err := spitfire.New(spitfire.Config{
+		DRAMBytes: 16 * spitfire.PageSize,
+		NVMBytes:  64 * (spitfire.PageSize + 64),
+		Policy:    pol,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := spitfire.NewCtx(1)
+	buf := make([]byte, spitfire.PageSize)
+	for pid := uint64(0); pid < uint64(pages); pid++ {
+		if err := bm.SeedPage(ctx, pid, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bm, ctx
+}
+
+// BenchmarkFetchHit measures the wall-clock cost of a buffered fetch (the
+// hot path of every workload op).
+func BenchmarkFetchHit(b *testing.B) {
+	bm, ctx := benchBM(b, spitfire.SpitfireLazy, 8)
+	// Warm the page in.
+	h, err := bm.FetchPage(ctx, 0, spitfire.ReadIntent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Release()
+	buf := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := bm.FetchPage(ctx, 0, spitfire.ReadIntent)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.ReadAt(ctx, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+	}
+}
+
+// BenchmarkFetchChurn measures fetches over a working set far beyond the
+// buffers, exercising the full eviction/migration machinery.
+func BenchmarkFetchChurn(b *testing.B) {
+	const pages = 512
+	bm, ctx := benchBM(b, spitfire.SpitfireLazy, pages)
+	buf := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pid := uint64(i*7919) % pages
+		h, err := bm.FetchPage(ctx, pid, spitfire.ReadIntent)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.ReadAt(ctx, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+	}
+	b.ReportMetric(float64(ctx.Clock.Now())/float64(b.N), "simulated-ns/op")
+}
+
+// BenchmarkFetchChurnParallel exercises the concurrent latching protocol.
+func BenchmarkFetchChurnParallel(b *testing.B) {
+	const pages = 512
+	bm, _ := benchBM(b, spitfire.SpitfireLazy, pages)
+	var worker int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker
+		worker++
+		ctx := spitfire.NewCtx(uint64(w) + 100)
+		rng := uint64(w)*2654435761 + 1
+		buf := make([]byte, 1024)
+		for pb.Next() {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			pid := (rng >> 33) % pages
+			h, err := bm.FetchPage(ctx, pid, spitfire.ReadIntent)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := h.ReadAt(ctx, 0, buf); err != nil {
+				b.Error(err)
+				h.Release()
+				return
+			}
+			h.Release()
+		}
+	})
+}
+
+// BenchmarkWALAppend measures the commit path: one update record plus the
+// NVM-buffer persist.
+func BenchmarkWALAppend(b *testing.B) {
+	pm := spitfire.NewPMem(spitfire.PMemOptions{Size: 1 << 22})
+	w, err := spitfire.NewWAL(spitfire.WALOptions{Buffer: pm, Store: spitfire.NewMemLog(nil)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := spitfire.NewCtx(1)
+	rec := &spitfire.LogRecord{TxnID: 1, Before: make([]byte, 128), After: make([]byte, 128)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(ctx.Clock, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineUpdate measures a full transactional update (fetch + MVTO
+// + WAL + in-place write + commit).
+func BenchmarkEngineUpdate(b *testing.B) {
+	bm, err := spitfire.New(spitfire.Config{
+		DRAMBytes: 16 * spitfire.PageSize,
+		NVMBytes:  64 * (spitfire.PageSize + 64),
+		Policy:    spitfire.SpitfireLazy,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := spitfire.NewPMem(spitfire.PMemOptions{Size: 1 << 22})
+	w, err := spitfire.NewWAL(spitfire.WALOptions{Buffer: pm, Store: spitfire.NewMemLog(nil)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := spitfire.OpenDB(spitfire.DBOptions{BM: bm, WAL: w})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb, err := db.CreateTable(1, "kv", 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := spitfire.NewCtx(1)
+	const keys = 256
+	if err := tb.Load(ctx, keys, func(i uint64, p []byte) uint64 { return i }); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := db.Begin()
+		if err := tb.Update(ctx, txn, uint64(i)%keys, payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.Commit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation beyond the paper: per-policy fetch cost under churn, isolating
+// the migration-policy overhead the paper's Figure 12 folds into workloads.
+func BenchmarkPolicyChurn(b *testing.B) {
+	for _, pc := range []struct {
+		name string
+		p    spitfire.Policy
+	}{
+		{"Hymem", spitfire.Hymem},
+		{"Eager", spitfire.SpitfireEager},
+		{"Lazy", spitfire.SpitfireLazy},
+	} {
+		b.Run(pc.name, func(b *testing.B) {
+			const pages = 256
+			bm, ctx := benchBM(b, pc.p, pages)
+			buf := make([]byte, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pid := uint64(i*7919) % pages
+				h, err := bm.FetchPage(ctx, pid, spitfire.WriteIntent)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.WriteAt(ctx, 0, buf); err != nil {
+					b.Fatal(err)
+				}
+				h.Release()
+			}
+			b.ReportMetric(float64(ctx.Clock.Now())/float64(b.N), "simulated-ns/op")
+		})
+	}
+}
+
+// Ablation: admission-queue sizing (§6.5 found ½ of NVM pages to work
+// well). Reported metric is the simulated time per operation — lower is
+// better.
+func BenchmarkAdmissionQueueSize(b *testing.B) {
+	for _, frac := range []float64{0.125, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("frac=%g", frac), func(b *testing.B) {
+			const pages = 256
+			nvmFrames := 64
+			bm, err := spitfire.New(spitfire.Config{
+				DRAMBytes:              16 * spitfire.PageSize,
+				NVMBytes:               int64(nvmFrames) * (spitfire.PageSize + 64),
+				Policy:                 spitfire.Hymem,
+				AdmissionQueueCapacity: int(float64(nvmFrames) * frac),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := spitfire.NewCtx(1)
+			buf := make([]byte, spitfire.PageSize)
+			for pid := uint64(0); pid < pages; pid++ {
+				if err := bm.SeedPage(ctx, pid, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			small := make([]byte, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pid := uint64(i*7919) % pages
+				h, err := bm.FetchPage(ctx, pid, spitfire.WriteIntent)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.WriteAt(ctx, 0, small); err != nil {
+					b.Fatal(err)
+				}
+				h.Release()
+			}
+			b.ReportMetric(float64(ctx.Clock.Now())/float64(b.N), "simulated-ns/op")
+		})
+	}
+}
+
+func BenchmarkExtraWear(b *testing.B) { runExperiment(b, "extra-wear") }
+
+// Ablation: CLOCK vs generalized GCLOCK replacement (the cited NB-GCLOCK
+// design). Higher weights protect hot frames across more sweeps; the
+// simulated-ns/op metric shows whether that pays off under a skewed churn.
+func BenchmarkClockWeight(b *testing.B) {
+	for _, weight := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("weight=%d", weight), func(b *testing.B) {
+			bm, err := spitfire.New(spitfire.Config{
+				DRAMBytes:   8 * spitfire.PageSize,
+				NVMBytes:    32 * (spitfire.PageSize + 64),
+				Policy:      spitfire.SpitfireLazy,
+				ClockWeight: weight,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := spitfire.NewCtx(1)
+			const pages = 256
+			page := make([]byte, spitfire.PageSize)
+			for pid := uint64(0); pid < pages; pid++ {
+				if err := bm.SeedPage(ctx, pid, page); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Skewed access: 80% of touches hit 16 hot pages.
+			rng := uint64(99)
+			buf := make([]byte, 1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				pid := (rng >> 33) % pages
+				if rng%10 < 8 {
+					pid = (rng >> 33) % 16
+				}
+				h, err := bm.FetchPage(ctx, pid, spitfire.ReadIntent)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.ReadAt(ctx, 0, buf); err != nil {
+					b.Fatal(err)
+				}
+				h.Release()
+			}
+			b.ReportMetric(float64(ctx.Clock.Now())/float64(b.N), "simulated-ns/op")
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Command spitfire-bench regenerates the tables and figures of the paper's
+// evaluation (§6). Each experiment prints the same rows/series the paper
+// reports, with throughput measured in operations per simulated second on
+// the calibrated device models (see DESIGN.md for the substitution notes).
+//
+// Usage:
+//
+//	spitfire-bench list                 # show available experiments
+//	spitfire-bench all [-quick]         # run everything in paper order
+//	spitfire-bench fig6 [-quick]        # run one experiment
+//	spitfire-bench fig14 fig15 -quick   # run several
+//
+// -quick shrinks database/buffer sizes by 4x (preserving every capacity
+// ratio) and reduces operation counts, for fast sanity runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/spitfire-db/spitfire/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sizes and op counts for a fast run")
+	seed := flag.Uint64("seed", 1, "workload random seed")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := harness.Opts{Quick: *quick, Seed: *seed}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "spitfire-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	switch args[0] {
+	case "verify":
+		t, ok, err := harness.Verify(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spitfire-bench: verify: %v\n", err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "spitfire-bench: some paper claims FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("all paper claims reproduced")
+		return
+	case "list":
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Description)
+		}
+		return
+	case "all":
+		for _, e := range harness.Experiments() {
+			runOne(e, opts, *csvDir)
+		}
+		return
+	}
+
+	for _, name := range args {
+		e, ok := harness.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "spitfire-bench: unknown experiment %q (try `spitfire-bench list`)\n", name)
+			os.Exit(2)
+		}
+		runOne(e, opts, *csvDir)
+	}
+}
+
+func runOne(e harness.Experiment, opts harness.Opts, csvDir string) {
+	fmt.Printf("--- %s: %s\n", e.Name, e.Description)
+	start := time.Now()
+	tables, err := e.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spitfire-bench: %s: %v\n", e.Name, err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+		if csvDir != "" {
+			path := filepath.Join(csvDir, t.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spitfire-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "spitfire-bench: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("    (%s in %.1fs wall clock)\n\n", e.Name, time.Since(start).Seconds())
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `spitfire-bench regenerates the paper's tables and figures.
+
+usage:
+  spitfire-bench [-quick] [-seed N] [-csv DIR] list | all | verify | <experiment>...
+
+verify runs quick-scale checks of the paper's headline qualitative claims
+and exits non-zero if any fails.
+
+experiments:
+`)
+	for _, e := range harness.Experiments() {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Description)
+	}
+}

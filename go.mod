@@ -1,0 +1,3 @@
+module github.com/spitfire-db/spitfire
+
+go 1.23

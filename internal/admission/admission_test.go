@@ -1,0 +1,107 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSecondChanceAdmission(t *testing.T) {
+	q := New(4)
+	if q.Admit(1) {
+		t.Fatal("first sighting admitted")
+	}
+	if !q.Contains(1) {
+		t.Fatal("denied page not remembered")
+	}
+	if !q.Admit(1) {
+		t.Fatal("second sighting not admitted")
+	}
+	if q.Contains(1) {
+		t.Fatal("admitted page still queued")
+	}
+	// Third sighting starts over.
+	if q.Admit(1) {
+		t.Fatal("third sighting admitted without a fresh denial")
+	}
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	q := New(2)
+	q.Admit(1) // queue: [1]
+	q.Admit(2) // queue: [1 2]
+	q.Admit(3) // queue: [2 3], 1 evicted
+	if q.Contains(1) {
+		t.Fatal("oldest entry not evicted at capacity")
+	}
+	if !q.Contains(2) || !q.Contains(3) {
+		t.Fatal("newer entries lost")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	// 1 was forgotten, so it is denied again.
+	if q.Admit(1) {
+		t.Fatal("evicted page admitted on re-sighting")
+	}
+}
+
+func TestForget(t *testing.T) {
+	q := New(4)
+	q.Admit(9)
+	q.Forget(9)
+	if q.Contains(9) {
+		t.Fatal("Forget left page queued")
+	}
+	q.Forget(9) // no-op on absent key
+	if q.Admit(9) {
+		t.Fatal("forgotten page admitted")
+	}
+}
+
+func TestFIFOOrderAcrossRemovals(t *testing.T) {
+	q := New(3)
+	q.Admit(1)
+	q.Admit(2)
+	q.Admit(3)
+	q.Admit(2) // removes 2 from the middle; queue: [1 3]
+	q.Admit(4) // queue: [1 3 4]
+	q.Admit(5) // over capacity: 1 evicted; queue: [3 4 5]
+	if q.Contains(1) {
+		t.Fatal("FIFO order broken: 1 should be the eviction victim")
+	}
+	for _, pid := range []uint64{3, 4, 5} {
+		if !q.Contains(pid) {
+			t.Fatalf("page %d lost", pid)
+		}
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	q := New(0)
+	if q.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want clamped to 1", q.Capacity())
+	}
+	q.Admit(1)
+	q.Admit(2) // evicts 1
+	if !q.Admit(2) {
+		t.Fatal("page 2 should be admitted on second sighting")
+	}
+}
+
+func TestConcurrentAdmit(t *testing.T) {
+	q := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				q.Admit(uint64(i % 64))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() > 128 {
+		t.Fatalf("queue overflowed capacity: %d", q.Len())
+	}
+}

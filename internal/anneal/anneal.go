@@ -1,0 +1,203 @@
+// Package anneal implements Spitfire's adaptive data-migration mechanism
+// (§4 of the paper): a simulated-annealing search over the policy space
+// ⟨Dr, Dw, Nr, Nw⟩ that converges to a near-optimal policy for an arbitrary
+// workload and storage hierarchy without manual tuning.
+//
+// The tuner tracks one target metric — transactional throughput T — per
+// epoch and minimizes the cost function cost(P) = γ/T. Candidate policies
+// are produced by moving one probability to an adjacent rung of the
+// discrete ladder {0, 0.01, 0.05, 0.1, 0.2, 0.5, 1}. A worse candidate is
+// still accepted with probability exp(−Δcost/t); the temperature t cools
+// geometrically (t ← α·t) from T0 toward Tmin, so exploration gives way to
+// exploitation exactly as in Kirkpatrick et al.'s original scheme.
+package anneal
+
+import (
+	"math"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+// Options configures a Tuner. The defaults mirror §6.4 of the paper:
+// α = 0.9, γ = 10, T0 = 800, Tmin = 0.00008.
+type Options struct {
+	Initial policy.Policy // starting policy (the paper starts eager)
+	Alpha   float64       // cooling rate α ∈ (0, 1)
+	Gamma   float64       // cost scale γ: cost = γ/throughput
+	T0      float64       // initial temperature
+	TMin    float64       // final temperature; cooling stops here
+	// LockstepD couples Dr and Dw (and LockstepN couples Nr and Nw) so the
+	// tuner explores the same reduced space as the paper's sweeps. Both
+	// default to false (full four-dimensional search).
+	LockstepD bool
+	LockstepN bool
+	Seed      uint64
+}
+
+// Tuner drives one simulated-annealing search. It is not safe for
+// concurrent use; drive it from the coordinator between epochs.
+type Tuner struct {
+	opt  Options
+	rng  *zipf.Rand
+	temp float64
+
+	current     policy.Policy
+	currentCost float64
+	best        policy.Policy
+	bestCost    float64
+
+	candidate policy.Policy
+	epochs    int
+	haveCost  bool
+}
+
+// New creates a tuner. The first call to Propose returns the initial policy
+// so its cost can be measured before any perturbation.
+func New(opt Options) *Tuner {
+	if opt.Alpha == 0 {
+		opt.Alpha = 0.9
+	}
+	if opt.Gamma == 0 {
+		opt.Gamma = 10
+	}
+	if opt.T0 == 0 {
+		opt.T0 = 800
+	}
+	if opt.TMin == 0 {
+		opt.TMin = 0.00008
+	}
+	return &Tuner{
+		opt:       opt,
+		rng:       zipf.NewRand(opt.Seed + 0xA11EA1),
+		temp:      opt.T0,
+		current:   opt.Initial,
+		candidate: opt.Initial,
+		bestCost:  math.Inf(1),
+	}
+}
+
+// Temperature returns the current annealing temperature.
+func (t *Tuner) Temperature() float64 { return t.temp }
+
+// Epochs returns how many Observe calls have completed.
+func (t *Tuner) Epochs() int { return t.epochs }
+
+// Best returns the lowest-cost policy observed so far.
+func (t *Tuner) Best() policy.Policy { return t.best }
+
+// Current returns the policy the search currently sits on.
+func (t *Tuner) Current() policy.Policy { return t.current }
+
+// Propose returns the policy to run for the next epoch.
+func (t *Tuner) Propose() policy.Policy { return t.candidate }
+
+// Observe feeds back the throughput measured while running the proposed
+// policy, applies the Metropolis acceptance rule, cools the temperature,
+// and computes the next candidate. It returns the policy to run next.
+func (t *Tuner) Observe(throughput float64) policy.Policy {
+	t.epochs++
+	cost := math.Inf(1)
+	if throughput > 0 {
+		cost = t.opt.Gamma / throughput
+	}
+
+	if !t.haveCost {
+		// First measurement: the initial policy becomes the incumbent.
+		t.haveCost = true
+		t.current, t.currentCost = t.candidate, cost
+	} else if t.accept(cost) {
+		t.current, t.currentCost = t.candidate, cost
+	}
+	if cost < t.bestCost {
+		t.best, t.bestCost = t.candidate, cost
+	}
+
+	if t.temp > t.opt.TMin {
+		t.temp *= t.opt.Alpha
+		if t.temp < t.opt.TMin {
+			t.temp = t.opt.TMin
+		}
+	}
+
+	t.candidate = t.neighbor(t.current)
+	return t.candidate
+}
+
+// accept applies the Metropolis criterion at the current temperature.
+func (t *Tuner) accept(cost float64) bool {
+	if cost <= t.currentCost {
+		return true
+	}
+	if math.IsInf(cost, 1) {
+		return false
+	}
+	// Costs are tiny (γ/T with T in the hundreds of thousands); scale the
+	// delta by the incumbent cost so the temperature schedule is
+	// magnitude-independent.
+	delta := (cost - t.currentCost) / math.Max(t.currentCost, 1e-12)
+	return t.rng.Float64() < math.Exp(-delta*1000/math.Max(t.temp, 1e-12))
+}
+
+// neighbor perturbs one coordinate of p to an adjacent ladder rung.
+func (t *Tuner) neighbor(p policy.Policy) policy.Policy {
+	coords := 4
+	if t.opt.LockstepD {
+		coords--
+	}
+	if t.opt.LockstepN {
+		coords--
+	}
+	which := t.rng.Intn(coords)
+	// Map the chosen index onto the active coordinates.
+	type coord int
+	var active []coord
+	if t.opt.LockstepD {
+		active = append(active, 0) // D (r+w together)
+	} else {
+		active = append(active, 1, 2) // Dr, Dw
+	}
+	if t.opt.LockstepN {
+		active = append(active, 3) // N (r+w together)
+	} else {
+		active = append(active, 4, 5) // Nr, Nw
+	}
+	c := active[which]
+
+	step := func(v float64) float64 {
+		i := policy.LadderIndex(v)
+		if t.rng.Intn(2) == 0 {
+			if i > 0 {
+				i--
+			} else {
+				i++
+			}
+		} else {
+			if i < len(policy.Ladder)-1 {
+				i++
+			} else {
+				i--
+			}
+		}
+		return policy.Ladder[i]
+	}
+
+	q := p
+	switch c {
+	case 0:
+		v := step(p.Dr)
+		q.Dr, q.Dw = v, v
+	case 1:
+		q.Dr = step(p.Dr)
+	case 2:
+		q.Dw = step(p.Dw)
+	case 3:
+		v := step(p.Nr)
+		q.Nr, q.Nw = v, v
+	case 4:
+		q.Nr = step(p.Nr)
+	case 5:
+		q.Nw = step(p.Nw)
+	}
+	return q
+}

@@ -1,0 +1,138 @@
+package anneal
+
+import (
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// syntheticCost is a made-up workload response: throughput peaks at the
+// lazy corner (D = 0.01, N = 0.2), mimicking the paper's YCSB-RO result.
+func syntheticThroughput(p policy.Policy) float64 {
+	base := 1_000_000.0
+	penalty := 0.0
+	penalty += 400_000 * abs(p.Dr-0.01)
+	penalty += 400_000 * abs(p.Dw-0.01)
+	penalty += 200_000 * abs(p.Nr-0.2)
+	penalty += 100_000 * abs(p.Nw-1.0)
+	return base - penalty
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestConvergesTowardOptimum(t *testing.T) {
+	tn := New(Options{Initial: policy.SpitfireEager, Seed: 42})
+	p := tn.Propose()
+	for i := 0; i < 400; i++ {
+		p = tn.Observe(syntheticThroughput(p))
+	}
+	best := tn.Best()
+	gotT := syntheticThroughput(best)
+	eagerT := syntheticThroughput(policy.SpitfireEager)
+	if gotT <= eagerT {
+		t.Fatalf("annealing did not improve: best %v -> %v, eager -> %v", best, gotT, eagerT)
+	}
+	// Must land near the lazy corner for D.
+	if best.Dr > 0.1 || best.Dw > 0.1 {
+		t.Fatalf("best policy %v far from the lazy-D optimum", best)
+	}
+}
+
+func TestTemperatureCools(t *testing.T) {
+	tn := New(Options{Initial: policy.SpitfireEager, Seed: 1})
+	t0 := tn.Temperature()
+	p := tn.Propose()
+	for i := 0; i < 50; i++ {
+		p = tn.Observe(syntheticThroughput(p))
+	}
+	if tn.Temperature() >= t0 {
+		t.Fatalf("temperature did not cool: %v -> %v", t0, tn.Temperature())
+	}
+	// Cooling is floored at TMin.
+	for i := 0; i < 1000; i++ {
+		p = tn.Observe(syntheticThroughput(p))
+	}
+	if tn.Temperature() < 0.00008 {
+		t.Fatalf("temperature fell below TMin: %v", tn.Temperature())
+	}
+	if tn.Epochs() != 1050 {
+		t.Fatalf("epochs = %d, want 1050", tn.Epochs())
+	}
+}
+
+func TestNeighborsStayOnLadder(t *testing.T) {
+	tn := New(Options{Initial: policy.SpitfireLazy, Seed: 7})
+	onLadder := func(v float64) bool {
+		for _, r := range policy.Ladder {
+			if v == r {
+				return true
+			}
+		}
+		return false
+	}
+	p := tn.Propose()
+	for i := 0; i < 200; i++ {
+		p = tn.Observe(1000)
+		// The initial policy may be off-ladder (0.01 and 0.2 are rungs,
+		// so SpitfireLazy is on it); all neighbors must be rungs.
+		for _, v := range []float64{p.Dr, p.Dw, p.Nr, p.Nw} {
+			if !onLadder(v) {
+				t.Fatalf("epoch %d produced off-ladder policy %v", i, p)
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLockstepKeepsPairsEqual(t *testing.T) {
+	tn := New(Options{Initial: policy.Uniform(1), Seed: 9, LockstepD: true, LockstepN: true})
+	p := tn.Propose()
+	for i := 0; i < 100; i++ {
+		p = tn.Observe(1000)
+		if p.Dr != p.Dw {
+			t.Fatalf("lockstep D violated: %v", p)
+		}
+		if p.Nr != p.Nw {
+			t.Fatalf("lockstep N violated: %v", p)
+		}
+	}
+}
+
+func TestZeroThroughputNeverAdopted(t *testing.T) {
+	tn := New(Options{Initial: policy.SpitfireEager, Seed: 3})
+	tn.Observe(1000) // incumbent established
+	incumbent := tn.Current()
+	for i := 0; i < 20; i++ {
+		tn.Observe(0) // dead candidate
+		if tn.Current() != incumbent {
+			// The incumbent may only change to a finite-cost policy.
+			t.Fatalf("zero-throughput candidate adopted: %v", tn.Current())
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	run := func() []policy.Policy {
+		tn := New(Options{Initial: policy.SpitfireEager, Seed: 11})
+		p := tn.Propose()
+		var seq []policy.Policy
+		for i := 0; i < 50; i++ {
+			p = tn.Observe(syntheticThroughput(p))
+			seq = append(seq, p)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at epoch %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

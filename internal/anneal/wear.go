@@ -1,0 +1,55 @@
+package anneal
+
+import (
+	"math"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// WearAwareCost extends the paper's throughput-only cost function (§4) to
+// the endurance-aware policy selection its §6.3 calls for: "the optimal
+// policy must be chosen depending on the performance requirements and
+// write endurance characteristics of NVM."
+//
+// The cost of a candidate policy combines the reciprocal of throughput
+// with a penalty proportional to the NVM write rate:
+//
+//	cost(P) = γ/T + λ · W/T
+//
+// where T is throughput (ops/s) and W the NVM write volume per second of
+// the same epoch, so W/T is bytes written to NVM per operation. λ = 0
+// recovers the paper's costT exactly; larger λ trades throughput for
+// device lifetime (the Figure 8 trade-off, automated).
+type WearAwareCost struct {
+	// Gamma scales the throughput term (the paper's γ, default 10).
+	Gamma float64
+	// Lambda prices NVM wear in cost units per byte-per-op (default 0).
+	Lambda float64
+}
+
+// Cost evaluates a measured epoch.
+func (w WearAwareCost) Cost(throughput, nvmBytesPerSec float64) float64 {
+	if throughput <= 0 {
+		return math.Inf(1)
+	}
+	g := w.Gamma
+	if g == 0 {
+		g = 10
+	}
+	return g/throughput + w.Lambda*(nvmBytesPerSec/throughput)
+}
+
+// ObserveWear feeds a wear-aware measurement into the tuner: it converts
+// the (throughput, write-rate) pair into a synthetic throughput whose
+// reciprocal equals the wear-aware cost, then delegates to Observe. This
+// keeps the annealing mechanics identical while changing what "better"
+// means. It returns the next candidate policy to run.
+func (t *Tuner) ObserveWear(cost WearAwareCost, throughput, nvmBytesPerSec float64) policy.Policy {
+	c := cost.Cost(throughput, nvmBytesPerSec)
+	if math.IsInf(c, 1) || c <= 0 {
+		return t.Observe(0)
+	}
+	// Observe computes cost = γ/T with the tuner's gamma; feed a synthetic
+	// throughput T' = γ/c so the resulting cost equals c.
+	return t.Observe(t.opt.Gamma / c)
+}

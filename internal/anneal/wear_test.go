@@ -1,0 +1,67 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+func TestWearAwareCostDefaults(t *testing.T) {
+	c := WearAwareCost{}
+	// λ = 0 recovers the paper's costT = γ/T with γ = 10.
+	if got := c.Cost(1000, 1e9); got != 10.0/1000 {
+		t.Fatalf("Cost = %v, want %v", got, 10.0/1000)
+	}
+	if got := c.Cost(0, 0); !math.IsInf(got, 1) {
+		t.Fatalf("zero throughput cost = %v", got)
+	}
+}
+
+func TestWearPenaltyOrdersPolicies(t *testing.T) {
+	// Two candidates: fast-but-wearing vs slower-but-gentle. With λ = 0
+	// the fast one wins; with a large λ the gentle one wins.
+	fast := struct{ t, w float64 }{1_000_000, 500e6} // 500 B/op
+	gentle := struct{ t, w float64 }{800_000, 8e6}   // 10 B/op
+
+	plain := WearAwareCost{}
+	if plain.Cost(fast.t, fast.w) >= plain.Cost(gentle.t, gentle.w) {
+		t.Fatal("λ=0 should prefer the faster policy")
+	}
+	weary := WearAwareCost{Lambda: 1}
+	if weary.Cost(fast.t, fast.w) <= weary.Cost(gentle.t, gentle.w) {
+		t.Fatal("large λ should prefer the gentler policy")
+	}
+}
+
+// A synthetic landscape where the highest-throughput policy also writes
+// the most to NVM: the wear-aware tuner must settle elsewhere.
+func TestObserveWearConvergesAwayFromWearyOptimum(t *testing.T) {
+	model := func(p policy.Policy) (tput, writeRate float64) {
+		// Eager N maximizes throughput but writes heavily.
+		tput = 500_000 + 500_000*p.Nr
+		writeRate = 1e6 + 2e9*p.Nr
+		return tput, writeRate
+	}
+	run := func(lambda float64) policy.Policy {
+		tn := New(Options{Initial: policy.Uniform(0.5), Seed: 4, LockstepD: true, LockstepN: true})
+		cost := WearAwareCost{Lambda: lambda}
+		p := tn.Propose()
+		for i := 0; i < 300; i++ {
+			tput, wr := model(p)
+			p = tn.ObserveWear(cost, tput, wr)
+		}
+		return tn.Best()
+	}
+	plain := run(0)
+	weary := run(0.001)
+	if plain.Nr < 0.5 {
+		t.Fatalf("λ=0 best policy %v should chase throughput (high Nr)", plain)
+	}
+	if weary.Nr > plain.Nr {
+		t.Fatalf("wear-aware best %v is not gentler than plain %v", weary, plain)
+	}
+	if weary.Nr > 0.1 {
+		t.Fatalf("wear-aware tuner stayed at Nr=%v despite heavy write penalty", weary.Nr)
+	}
+}

@@ -1,0 +1,109 @@
+package bitmapclock
+
+import "sync/atomic"
+
+// GClock is the generalized-CLOCK variant of the cited NB-GCLOCK design:
+// each frame carries a small reference *counter* instead of a single bit.
+// Ref increments the counter up to a configurable weight; the sweeping hand
+// decrements, so frequently referenced frames survive up to `weight` full
+// sweeps. weight = 1 degenerates to classic CLOCK.
+//
+// Counters are packed eight per word and updated with CAS, keeping Ref and
+// Victim lock-free like the bitmap variant.
+type GClock struct {
+	n      int
+	weight uint8
+	words  []atomic.Uint64 // 8 counters per word
+	hand   atomic.Uint64
+}
+
+// NewGClock creates a generalized CLOCK over n frames with the given
+// maximum reference count (clamped to [1, 255]).
+func NewGClock(n int, weight int) *GClock {
+	if n <= 0 {
+		panic("bitmapclock: frame count must be positive")
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > 255 {
+		weight = 255
+	}
+	return &GClock{
+		n:      n,
+		weight: uint8(weight),
+		words:  make([]atomic.Uint64, (n+7)/8),
+	}
+}
+
+// Len returns the number of frames covered.
+func (c *GClock) Len() int { return c.n }
+
+// Weight returns the maximum reference count.
+func (c *GClock) Weight() int { return int(c.weight) }
+
+func (c *GClock) get(i int) uint8 {
+	w := c.words[i>>3].Load()
+	return uint8(w >> (uint(i&7) * 8))
+}
+
+// set CASes counter i from old to new within its word; reports success.
+func (c *GClock) cas(i int, old, new uint8) bool {
+	word := &c.words[i>>3]
+	shift := uint(i&7) * 8
+	for {
+		w := word.Load()
+		if uint8(w>>shift) != old {
+			return false
+		}
+		nw := (w &^ (uint64(0xFF) << shift)) | uint64(new)<<shift
+		if word.CompareAndSwap(w, nw) {
+			return true
+		}
+	}
+}
+
+// Ref bumps frame i's reference counter (saturating at the weight).
+func (c *GClock) Ref(i int) {
+	for {
+		cur := c.get(i)
+		if cur >= c.weight {
+			return
+		}
+		if c.cas(i, cur, cur+1) {
+			return
+		}
+	}
+}
+
+// Unref zeroes frame i's counter (used when a frame is freed).
+func (c *GClock) Unref(i int) {
+	for {
+		cur := c.get(i)
+		if cur == 0 {
+			return
+		}
+		if c.cas(i, cur, 0) {
+			return
+		}
+	}
+}
+
+// Referenced reports whether frame i's counter is non-zero.
+func (c *GClock) Referenced(i int) bool { return c.get(i) != 0 }
+
+// Victim sweeps the hand, decrementing counters, until it finds a frame at
+// zero. It gives up after weight+1 full sweeps and returns the frame under
+// the hand, so it always terminates under concurrent Refs.
+func (c *GClock) Victim() int {
+	limit := (int(c.weight) + 1) * c.n
+	for i := 0; i < limit; i++ {
+		h := int(c.hand.Add(1)-1) % c.n
+		cur := c.get(h)
+		if cur == 0 {
+			return h
+		}
+		c.cas(h, cur, cur-1) // lost races just mean someone else decremented
+	}
+	return int(c.hand.Add(1)-1) % c.n
+}

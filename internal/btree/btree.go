@@ -1,0 +1,346 @@
+// Package btree implements the concurrent B+Tree index Spitfire layers on
+// top of its buffer manager (§5.2 of the paper), using optimistic,
+// latch-free reads with write exclusion.
+//
+// The paper uses optimistic lock coupling (Leis et al.): readers read node
+// contents without latches and re-validate a version counter afterwards.
+// The classical formulation reads memory that a writer may be mutating,
+// which the Go memory model forbids (and the race detector rejects), so
+// this implementation uses the race-free variant from the same line of work
+// (ROWEX — read-optimized write exclusion, Leis et al., "The ART of
+// Practical Synchronization"):
+//
+//   - Node contents are immutable snapshots behind an atomic pointer.
+//     Readers load them without any latch — they keep the property the
+//     paper wants from optimistic coupling: zero reader-side cache-line
+//     contention — and validate a per-node version across parent→child
+//     steps to detect splits, restarting from the root when one hits.
+//   - Writers use lock coupling (hand-over-hand mutexes) with preemptive
+//     splits and publish modified nodes by swapping the content pointer.
+//
+// Keys are any ordered type; values are uint64 (record identifiers).
+// Deletion removes entries from leaves without rebalancing, the common
+// simplification for workloads whose key population does not shrink.
+package btree
+
+import (
+	"cmp"
+	"sync"
+	"sync/atomic"
+)
+
+// order is the fan-out: maximum keys per node.
+const order = 64
+
+// content is an immutable snapshot of a node. Writers build a new content
+// and publish it atomically; readers never observe a partially modified
+// node.
+type content[K cmp.Ordered] struct {
+	leaf bool
+	keys []K
+
+	// Inner nodes: children[i] is the subtree for keys < keys[i];
+	// children[len(keys)] is the rightmost subtree.
+	children []*node[K]
+
+	// Leaves: values[i] pairs with keys[i]; next chains leaves for scans.
+	values []uint64
+	next   *node[K]
+}
+
+type node[K cmp.Ordered] struct {
+	mu      sync.Mutex // writers only
+	version atomic.Uint64
+	content atomic.Pointer[content[K]]
+}
+
+func newNode[K cmp.Ordered](c *content[K]) *node[K] {
+	n := &node[K]{}
+	n.content.Store(c)
+	return n
+}
+
+// publish installs a new content snapshot and bumps the version so
+// validating readers notice.
+func (nd *node[K]) publish(c *content[K]) {
+	nd.content.Store(c)
+	nd.version.Add(1)
+}
+
+// lowerBound returns the first index i with keys[i] >= k.
+func (c *content[K]) lowerBound(k K) int {
+	lo, hi := 0, len(c.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child slot to descend into for key k.
+func (c *content[K]) childIndex(k K) int {
+	i := c.lowerBound(k)
+	if i < len(c.keys) && c.keys[i] == k {
+		i++ // inner separators route equal keys right
+	}
+	return i
+}
+
+// Tree is a concurrent B+Tree.
+type Tree[K cmp.Ordered] struct {
+	root atomic.Pointer[node[K]]
+	size atomic.Int64
+}
+
+// New creates an empty tree.
+func New[K cmp.Ordered]() *Tree[K] {
+	t := &Tree[K]{}
+	t.root.Store(newNode(&content[K]{leaf: true}))
+	return t
+}
+
+// Len returns the number of entries.
+func (t *Tree[K]) Len() int { return int(t.size.Load()) }
+
+// Get returns the value stored under k. Readers take no latches.
+func (t *Tree[K]) Get(k K) (uint64, bool) {
+	c := t.findLeafContent(k)
+	i := c.lowerBound(k)
+	if i < len(c.keys) && c.keys[i] == k {
+		return c.values[i], true
+	}
+	return 0, false
+}
+
+// findLeafContent descends, latch-free, to the leaf snapshot covering k.
+//
+// Validation protocol: at each level the child's version is loaded *before*
+// its content, and the parent's version is re-checked *after* the child's
+// content is loaded. Splits publish the parent's new content (bumping its
+// version) before truncating the child, so any reader that observes a
+// truncated child through a stale parent also observes the parent's version
+// change and restarts. The root is validated by identity instead (root
+// splits install a fresh root node before truncating the old one).
+func (t *Tree[K]) findLeafContent(k K) *content[K] {
+restart:
+	for {
+		nd := t.root.Load()
+		ver := nd.version.Load()
+		c := nd.content.Load()
+		if t.root.Load() != nd {
+			continue
+		}
+		for !c.leaf {
+			child := c.children[c.childIndex(k)]
+			cv := child.version.Load()
+			cc := child.content.Load()
+			if nd.version.Load() != ver {
+				continue restart
+			}
+			nd, ver, c = child, cv, cc
+		}
+		return c
+	}
+}
+
+// Insert stores v under k, replacing any previous value. It reports whether
+// the key was newly inserted (false means replaced).
+func (t *Tree[K]) Insert(k K, v uint64) bool {
+	for {
+		inserted, restart := t.tryInsert(k, v)
+		if !restart {
+			if inserted {
+				t.size.Add(1)
+			}
+			return inserted
+		}
+	}
+}
+
+// tryInsert performs one lock-coupled descent with preemptive splits.
+func (t *Tree[K]) tryInsert(k K, v uint64) (inserted, restart bool) {
+	nd := t.root.Load()
+	nd.mu.Lock()
+	if t.root.Load() != nd {
+		nd.mu.Unlock()
+		return false, true
+	}
+	c := nd.content.Load()
+	if len(c.keys) == order {
+		t.splitRoot(nd, c)
+		nd.mu.Unlock()
+		return false, true
+	}
+
+	for !c.leaf {
+		childIdx := c.childIndex(k)
+		child := c.children[childIdx]
+		child.mu.Lock()
+		cc := child.content.Load()
+		if len(cc.keys) == order {
+			// Preemptive split: nd (the parent) is locked and not full.
+			t.splitChild(nd, c, childIdx, child, cc)
+			child.mu.Unlock()
+			// nd's content changed; reload and re-route within nd.
+			c = nd.content.Load()
+			continue
+		}
+		nd.mu.Unlock()
+		nd, c = child, cc
+	}
+
+	// nd is the locked, non-full leaf.
+	i := c.lowerBound(k)
+	if i < len(c.keys) && c.keys[i] == k {
+		nc := &content[K]{leaf: true, keys: c.keys, next: c.next}
+		nc.values = make([]uint64, len(c.values))
+		copy(nc.values, c.values)
+		nc.values[i] = v
+		nd.publish(nc)
+		nd.mu.Unlock()
+		return false, false
+	}
+	nc := &content[K]{leaf: true, next: c.next}
+	nc.keys = make([]K, len(c.keys)+1)
+	nc.values = make([]uint64, len(c.values)+1)
+	copy(nc.keys, c.keys[:i])
+	copy(nc.values, c.values[:i])
+	nc.keys[i] = k
+	nc.values[i] = v
+	copy(nc.keys[i+1:], c.keys[i:])
+	copy(nc.values[i+1:], c.values[i:])
+	nd.publish(nc)
+	nd.mu.Unlock()
+	return true, false
+}
+
+// splitHalves builds the separator and the two replacement contents for a
+// full node.
+func splitHalves[K cmp.Ordered](c *content[K], right *node[K]) (sep K, left, rightC *content[K]) {
+	mid := len(c.keys) / 2
+	if c.leaf {
+		sep = c.keys[mid]
+		left = &content[K]{leaf: true, keys: clone(c.keys[:mid]), values: clone(c.values[:mid]), next: right}
+		rightC = &content[K]{leaf: true, keys: clone(c.keys[mid:]), values: clone(c.values[mid:]), next: c.next}
+		return sep, left, rightC
+	}
+	sep = c.keys[mid]
+	left = &content[K]{keys: clone(c.keys[:mid]), children: clone(c.children[:mid+1])}
+	rightC = &content[K]{keys: clone(c.keys[mid+1:]), children: clone(c.children[mid+1:])}
+	return sep, left, rightC
+}
+
+func clone[T any](s []T) []T {
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
+// splitRoot splits the locked, full root nd and installs a new root.
+// Publication order matters for latch-free readers: the new root is
+// published before the truncated left half, so a reader that observes the
+// truncated node must also observe the root change (and restarts via its
+// root identity check).
+func (t *Tree[K]) splitRoot(nd *node[K], c *content[K]) {
+	right := newNode[K](nil)
+	sep, leftC, rightC := splitHalves(c, right)
+	right.content.Store(rightC)
+	newRoot := newNode(&content[K]{
+		keys:     []K{sep},
+		children: []*node[K]{nd, right},
+	})
+	t.root.Store(newRoot)
+	nd.publish(leftC)
+}
+
+// splitChild splits the locked, full child (slot childIdx of the locked
+// parent nd). The parent's new content is published before the child's
+// truncated content, so readers holding the old parent still see the
+// child's full content, and readers that observe the truncated child also
+// observe the parent's version bump.
+func (t *Tree[K]) splitChild(nd *node[K], c *content[K], childIdx int, child *node[K], cc *content[K]) {
+	right := newNode[K](nil)
+	sep, leftC, rightC := splitHalves(cc, right)
+	right.content.Store(rightC)
+
+	pc := &content[K]{leaf: false}
+	pc.keys = make([]K, len(c.keys)+1)
+	pc.children = make([]*node[K], len(c.children)+1)
+	copy(pc.keys, c.keys[:childIdx])
+	copy(pc.children, c.children[:childIdx+1])
+	pc.keys[childIdx] = sep
+	pc.children[childIdx+1] = right
+	copy(pc.keys[childIdx+1:], c.keys[childIdx:])
+	copy(pc.children[childIdx+2:], c.children[childIdx+1:])
+
+	nd.publish(pc)
+	child.publish(leftC)
+}
+
+// Delete removes k. It reports whether the key was present. Leaves are not
+// rebalanced.
+func (t *Tree[K]) Delete(k K) bool {
+	for {
+		deleted, restart := t.tryDelete(k)
+		if !restart {
+			if deleted {
+				t.size.Add(-1)
+			}
+			return deleted
+		}
+	}
+}
+
+func (t *Tree[K]) tryDelete(k K) (deleted, restart bool) {
+	nd := t.root.Load()
+	nd.mu.Lock()
+	if t.root.Load() != nd {
+		nd.mu.Unlock()
+		return false, true
+	}
+	c := nd.content.Load()
+	for !c.leaf {
+		child := c.children[c.childIndex(k)]
+		child.mu.Lock()
+		nd.mu.Unlock()
+		nd = child
+		c = nd.content.Load()
+	}
+	i := c.lowerBound(k)
+	if i >= len(c.keys) || c.keys[i] != k {
+		nd.mu.Unlock()
+		return false, false
+	}
+	nc := &content[K]{leaf: true, next: c.next}
+	nc.keys = make([]K, 0, len(c.keys)-1)
+	nc.values = make([]uint64, 0, len(c.values)-1)
+	nc.keys = append(append(nc.keys, c.keys[:i]...), c.keys[i+1:]...)
+	nc.values = append(append(nc.values, c.values[:i]...), c.values[i+1:]...)
+	nd.publish(nc)
+	nd.mu.Unlock()
+	return true, false
+}
+
+// Scan visits entries with k >= from in ascending key order until fn
+// returns false or the tree is exhausted. Each leaf is a consistent
+// snapshot; the scan as a whole is not a point-in-time snapshot.
+func (t *Tree[K]) Scan(from K, fn func(k K, v uint64) bool) {
+	c := t.findLeafContent(from)
+	start := c.lowerBound(from)
+	for {
+		for i := start; i < len(c.keys); i++ {
+			if !fn(c.keys[i], c.values[i]) {
+				return
+			}
+		}
+		if c.next == nil {
+			return
+		}
+		c = c.next.content.Load()
+		start = 0
+	}
+}

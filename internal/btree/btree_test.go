@@ -1,0 +1,268 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[uint64]()
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree found a key")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree reported success")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New[uint64]()
+	if !tr.Insert(10, 100) {
+		t.Fatal("fresh insert reported replacement")
+	}
+	if tr.Insert(10, 200) {
+		t.Fatal("replacement reported fresh insert")
+	}
+	if v, ok := tr.Get(10); !ok || v != 200 {
+		t.Fatalf("Get(10) = %d,%v", v, ok)
+	}
+	if !tr.Delete(10) {
+		t.Fatal("Delete of present key failed")
+	}
+	if _, ok := tr.Get(10); ok {
+		t.Fatal("deleted key still found")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after delete", tr.Len())
+	}
+}
+
+func TestManyKeysForceSplits(t *testing.T) {
+	tr := New[uint64]()
+	const n = 50_000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(uint64(k), uint64(k)*2)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := tr.Get(k)
+		if !ok || v != k*2 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestScanOrderAndRange(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(0); k < 1000; k += 3 {
+		tr.Insert(k, k)
+	}
+	var got []uint64
+	tr.Scan(100, func(k, v uint64) bool {
+		if k != v {
+			t.Fatalf("scan pair %d != %d", k, v)
+		}
+		got = append(got, k)
+		return k < 200
+	})
+	if got[0] != 102 {
+		t.Fatalf("scan started at %d, want 102", got[0])
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+	if last := got[len(got)-1]; last != 201 {
+		t.Fatalf("scan stopped at %d, want 201", last)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string]()
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, w := range words {
+		tr.Insert(w, uint64(i))
+	}
+	var got []string
+	tr.Scan("", func(k string, _ uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Prefix-style range: everything >= "b" and < "c".
+	var inRange []string
+	tr.Scan("b", func(k string, _ uint64) bool {
+		if k >= "c" {
+			return false
+		}
+		inRange = append(inRange, k)
+		return true
+	})
+	if len(inRange) != 1 || inRange[0] != "bravo" {
+		t.Fatalf("range scan = %v", inRange)
+	}
+}
+
+// Property: the tree agrees with a model map under random operation
+// sequences, and Scan("") enumerates exactly the sorted model keys.
+func TestQuickMatchesModel(t *testing.T) {
+	f := func(ops []struct {
+		Key uint64
+		Val uint64
+		Op  uint8
+	}) bool {
+		tr := New[uint64]()
+		model := make(map[uint64]uint64)
+		for _, op := range ops {
+			k := op.Key % 512
+			switch op.Op % 3 {
+			case 0:
+				tr.Insert(k, op.Val)
+				model[k] = op.Val
+			case 1:
+				got, ok := tr.Get(k)
+				want, wok := model[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 2:
+				_, wok := model[k]
+				if tr.Delete(k) != wok {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		var keys []uint64
+		tr.Scan(0, func(k, v uint64) bool {
+			if model[k] != v {
+				return false
+			}
+			keys = append(keys, k)
+			return true
+		})
+		if len(keys) != len(model) {
+			return false
+		}
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointInserts(t *testing.T) {
+	tr := New[uint64]()
+	const workers, each = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * each
+			for i := uint64(0); i < each; i++ {
+				tr.Insert(base+i, base+i+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*each {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*each)
+	}
+	for k := uint64(0); k < workers*each; k++ {
+		if v, ok := tr.Get(k); !ok || v != k+1 {
+			t.Fatalf("lost key %d (got %d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestConcurrentReadersDuringInserts(t *testing.T) {
+	tr := New[uint64]()
+	const n = 20_000
+	// Pre-populate evens; writers add odds while readers check evens.
+	for k := uint64(0); k < n; k += 2 {
+		tr.Insert(k, k)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := uint64(1); k < n; k += 2 {
+			tr.Insert(k, k)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 20_000; i++ {
+				k := uint64(rng.Intn(n/2)) * 2
+				if v, ok := tr.Get(k); !ok || v != k {
+					t.Errorf("reader lost even key %d (%d,%v)", k, v, ok)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	tr := New[uint64]()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(2048))
+				switch rng.Intn(4) {
+				case 0, 1:
+					tr.Insert(k, k)
+				case 2:
+					tr.Get(k)
+				case 3:
+					tr.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Invariant: every surviving entry maps k -> k and the scan is sorted.
+	prev := uint64(0)
+	first := true
+	tr.Scan(0, func(k, v uint64) bool {
+		if v != k {
+			t.Errorf("corrupted entry %d -> %d", k, v)
+			return false
+		}
+		if !first && k <= prev {
+			t.Errorf("scan out of order: %d after %d", k, prev)
+			return false
+		}
+		prev, first = k, false
+		return true
+	})
+}

@@ -1,0 +1,142 @@
+// Package cht provides a lock-striped concurrent hash table.
+//
+// The paper uses Intel TBB's concurrent hash map for the DRAM-resident
+// mapping table from logical page identifiers to shared page descriptors
+// (§5.2). This package is the stdlib-only stand-in: a generic map sharded
+// across 2^k stripes, each guarded by its own RWMutex. All operations are
+// linearizable per key.
+package cht
+
+import "sync"
+
+const defaultShardBits = 8
+
+// Map is a concurrent hash map from K to V.
+type Map[K comparable, V any] struct {
+	shards []mapShard[K, V]
+	mask   uint64
+	hash   func(K) uint64
+}
+
+type mapShard[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+	_  [40]byte // pad to reduce false sharing between neighboring stripes
+}
+
+// New creates a map using the given hash function with the default stripe
+// count.
+func New[K comparable, V any](hash func(K) uint64) *Map[K, V] {
+	return NewWithShards[K, V](hash, 1<<defaultShardBits)
+}
+
+// NewWithShards creates a map with the given stripe count, which must be a
+// power of two.
+func NewWithShards[K comparable, V any](hash func(K) uint64, shards int) *Map[K, V] {
+	if shards <= 0 || shards&(shards-1) != 0 {
+		panic("cht: shard count must be a positive power of two")
+	}
+	m := &Map[K, V]{
+		shards: make([]mapShard[K, V], shards),
+		mask:   uint64(shards - 1),
+		hash:   hash,
+	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[K]V)
+	}
+	return m
+}
+
+// Uint64Hash is a Fibonacci/avalanche hash suitable for integer keys such as
+// page identifiers.
+func Uint64Hash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	k *= 0xC4CEB9FE1A85EC53
+	k ^= k >> 33
+	return k
+}
+
+func (m *Map[K, V]) shard(k K) *mapShard[K, V] {
+	return &m.shards[m.hash(k)&m.mask]
+}
+
+// Get returns the value for k, if present.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	s := m.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores v under k, replacing any existing value.
+func (m *Map[K, V]) Put(k K, v V) {
+	s := m.shard(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Delete removes k. It reports whether the key was present.
+func (m *Map[K, V]) Delete(k K) bool {
+	s := m.shard(k)
+	s.mu.Lock()
+	_, ok := s.m[k]
+	if ok {
+		delete(s.m, k)
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// GetOrInsert returns the existing value for k, or stores and returns the
+// value produced by mk. mk is called at most once, under the stripe lock,
+// and only if the key is absent. loaded reports whether the value already
+// existed.
+func (m *Map[K, V]) GetOrInsert(k K, mk func() V) (v V, loaded bool) {
+	s := m.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		return v, true
+	}
+	s.mu.Lock()
+	v, ok = s.m[k]
+	if !ok {
+		v = mk()
+		s.m[k] = v
+	}
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Len returns the number of entries. It is a snapshot, not a fence.
+func (m *Map[K, V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+		n += len(m.shards[i].m)
+		m.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls f for every entry until f returns false. Entries inserted or
+// removed concurrently may or may not be observed; each stripe is visited
+// under its read lock.
+func (m *Map[K, V]) Range(f func(K, V) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !f(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}

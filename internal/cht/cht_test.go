@@ -1,0 +1,175 @@
+package cht
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestMap() *Map[uint64, int] {
+	return New[uint64, int](Uint64Hash)
+}
+
+func TestBasicOps(t *testing.T) {
+	m := newTestMap()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("Get on empty map returned ok")
+	}
+	m.Put(1, 10)
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+	m.Put(1, 20)
+	if v, _ := m.Get(1); v != 20 {
+		t.Fatalf("Put did not replace: %d", v)
+	}
+	if !m.Delete(1) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if m.Delete(1) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after delete", m.Len())
+	}
+}
+
+func TestGetOrInsert(t *testing.T) {
+	m := newTestMap()
+	calls := 0
+	v, loaded := m.GetOrInsert(5, func() int { calls++; return 50 })
+	if loaded || v != 50 || calls != 1 {
+		t.Fatalf("first GetOrInsert: v=%d loaded=%v calls=%d", v, loaded, calls)
+	}
+	v, loaded = m.GetOrInsert(5, func() int { calls++; return 99 })
+	if !loaded || v != 50 || calls != 1 {
+		t.Fatalf("second GetOrInsert: v=%d loaded=%v calls=%d", v, loaded, calls)
+	}
+}
+
+func TestGetOrInsertConcurrentSingleWinner(t *testing.T) {
+	m := newTestMap()
+	const workers = 16
+	var mu sync.Mutex
+	calls := 0
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, _ := m.GetOrInsert(42, func() int {
+				mu.Lock()
+				calls++
+				id := calls
+				mu.Unlock()
+				return id
+			})
+			results[w] = v
+		}(w)
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("constructor called %d times, want 1", calls)
+	}
+	for w, v := range results {
+		if v != results[0] {
+			t.Fatalf("worker %d saw %d, worker 0 saw %d", w, v, results[0])
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := newTestMap()
+	for i := uint64(0); i < 100; i++ {
+		m.Put(i, int(i))
+	}
+	seen := make(map[uint64]bool)
+	m.Range(func(k uint64, v int) bool {
+		if int(k) != v {
+			t.Errorf("Range saw %d -> %d", k, v)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("Range visited %d keys, want 100", len(seen))
+	}
+	// Early termination.
+	n := 0
+	m.Range(func(uint64, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range after false visited %d keys", n)
+	}
+}
+
+func TestBadShardCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two shards")
+		}
+	}()
+	NewWithShards[uint64, int](Uint64Hash, 3)
+}
+
+// Property: a cht behaves like a plain map under any sequence of operations.
+func TestQuickMatchesModel(t *testing.T) {
+	f := func(ops []struct {
+		Key uint64
+		Val int
+		Op  uint8
+	}) bool {
+		m := newTestMap()
+		model := make(map[uint64]int)
+		for _, op := range ops {
+			k := op.Key % 64
+			switch op.Op % 3 {
+			case 0:
+				m.Put(k, op.Val)
+				model[k] = op.Val
+			case 1:
+				got, ok := m.Get(k)
+				want, wok := model[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 2:
+				if m.Delete(k) != (func() bool { _, ok := model[k]; return ok })() {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		return m.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	m := newTestMap()
+	const workers = 8
+	const keysPerWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * keysPerWorker)
+			for i := uint64(0); i < keysPerWorker; i++ {
+				m.Put(base+i, int(base+i))
+			}
+			for i := uint64(0); i < keysPerWorker; i++ {
+				if v, ok := m.Get(base + i); !ok || v != int(base+i) {
+					t.Errorf("lost key %d", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != workers*keysPerWorker {
+		t.Fatalf("Len = %d, want %d", m.Len(), workers*keysPerWorker)
+	}
+}

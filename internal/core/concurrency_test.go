@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+// TestConcurrentChurnIntegrity is the buffer manager's main stress test:
+// several workers update disjoint counters on a shared set of pages far
+// exceeding buffer capacity, under a policy mix that exercises every
+// migration path. Afterwards every counter must equal the number of
+// increments applied to it, and all pins must have drained.
+func TestConcurrentChurnIntegrity(t *testing.T) {
+	pols := map[string]policy.Policy{
+		"eager": policy.SpitfireEager,
+		"lazy":  policy.SpitfireLazy,
+		"hymem": policy.Hymem,
+		"mixed": {Dr: 0.5, Dw: 0.5, Nr: 0.5, Nw: 0.5},
+	}
+	for name, pol := range pols {
+		t.Run(name, func(t *testing.T) {
+			runChurn(t, Config{
+				DRAMBytes: 4 * PageSize,
+				NVMBytes:  8 * nvmFrameSlot,
+				Policy:    pol,
+			})
+		})
+	}
+}
+
+func TestConcurrentChurnFineGrained(t *testing.T) {
+	runChurn(t, Config{
+		DRAMBytes:   4 * PageSize,
+		NVMBytes:    8 * nvmFrameSlot,
+		Policy:      policy.SpitfireLazy,
+		FineGrained: true,
+		LoadingUnit: 256,
+	})
+}
+
+func TestConcurrentChurnMiniPages(t *testing.T) {
+	runChurn(t, Config{
+		DRAMBytes:   6 * PageSize,
+		NVMBytes:    8 * nvmFrameSlot,
+		Policy:      policy.SpitfireEager,
+		FineGrained: true,
+		LoadingUnit: 256,
+		MiniPages:   true,
+	})
+}
+
+func runChurn(t *testing.T, cfg Config) {
+	t.Helper()
+	const (
+		workers = 8
+		pages   = 64
+		opsEach = 800
+	)
+	bm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedZero(t, bm, pages)
+
+	// counters[w] tracks worker w's per-page increment counts; worker w
+	// owns the 8-byte slot at offset w*8 on every page, so writers never
+	// overlap.
+	var counts [workers][pages]int64
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := NewCtx(uint64(w) + 100)
+			rng := zipf.NewRand(uint64(w) * 977)
+			buf := make([]byte, 8)
+			for i := 0; i < opsEach; i++ {
+				pid := rng.Uint64n(pages)
+				h, err := bm.FetchPage(ctx, pid, WriteIntent)
+				if err != nil {
+					t.Errorf("worker %d: fetch: %v", w, err)
+					failed.Store(true)
+					return
+				}
+				off := w * 8
+				if err := h.ReadAt(ctx, off, buf); err != nil {
+					t.Errorf("worker %d: read: %v", w, err)
+					h.Release()
+					failed.Store(true)
+					return
+				}
+				v := binary.LittleEndian.Uint64(buf)
+				binary.LittleEndian.PutUint64(buf, v+1)
+				if err := h.WriteAt(ctx, off, buf); err != nil {
+					t.Errorf("worker %d: write: %v", w, err)
+					h.Release()
+					failed.Store(true)
+					return
+				}
+				h.Release()
+				counts[w][pid]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		return
+	}
+
+	// Verify every counter.
+	ctx := NewCtx(999)
+	buf := make([]byte, 8)
+	for pid := uint64(0); pid < pages; pid++ {
+		h, err := bm.FetchPage(ctx, pid, ReadIntent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < workers; w++ {
+			if err := h.ReadAt(ctx, w*8, buf); err != nil {
+				t.Fatal(err)
+			}
+			got := int64(binary.LittleEndian.Uint64(buf))
+			if got != counts[w][pid] {
+				t.Fatalf("page %d worker %d: counter = %d, want %d", pid, w, got, counts[w][pid])
+			}
+		}
+		h.Release()
+	}
+
+	checkNoLeakedPins(t, bm)
+}
+
+// seedZero writes n zeroed pages to SSD.
+func seedZero(t *testing.T, bm *BufferManager, n int) {
+	t.Helper()
+	ctx := NewCtx(1)
+	buf := make([]byte, PageSize)
+	for pid := uint64(0); pid < uint64(n); pid++ {
+		if err := bm.SeedPage(ctx, pid, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// checkNoLeakedPins verifies that, quiesced, no frame holds a pin (frames
+// are either frozen on the free list or resident with zero pins).
+func checkNoLeakedPins(t *testing.T, bm *BufferManager) {
+	t.Helper()
+	check := func(name string, meta []frameMeta) {
+		for i := range meta {
+			p := meta[i].pins.Load()
+			if p > 0 {
+				t.Fatalf("%s frame %d leaked %d pins", name, i, p)
+			}
+			if p == 0 && meta[i].pid.Load() == InvalidPageID {
+				t.Fatalf("%s frame %d unpinned but unowned (lost frame)", name, i)
+			}
+		}
+	}
+	if bm.dram != nil {
+		check("dram", bm.dram.meta)
+		if bm.dram.mini != nil {
+			check("mini", bm.dram.mini.meta)
+		}
+	}
+	if bm.nvm != nil {
+		check("nvm", bm.nvm.meta)
+	}
+}
+
+// TestConcurrentSamePage hammers a single page from many workers so the
+// migrate-up wait-for-refs protocol (§5.2) and freeze/thaw transitions get
+// exercised heavily.
+func TestConcurrentSamePage(t *testing.T) {
+	bm, err := New(Config{
+		DRAMBytes: 2 * PageSize,
+		NVMBytes:  4 * nvmFrameSlot,
+		Policy:    policy.Policy{Dr: 0.5, Dw: 0.5, Nr: 0.5, Nw: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedZero(t, bm, 1)
+
+	const workers = 8
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := NewCtx(uint64(w) + 500)
+			buf := make([]byte, 8)
+			for i := 0; i < 500; i++ {
+				h, err := bm.FetchPage(ctx, 0, WriteIntent)
+				if err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+				off := w * 8
+				if err := h.ReadAt(ctx, off, buf); err != nil {
+					t.Errorf("read: %v", err)
+					h.Release()
+					return
+				}
+				v := binary.LittleEndian.Uint64(buf)
+				binary.LittleEndian.PutUint64(buf, v+1)
+				if err := h.WriteAt(ctx, off, buf); err != nil {
+					t.Errorf("write: %v", err)
+					h.Release()
+					return
+				}
+				h.Release()
+				total.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ctx := NewCtx(1000)
+	h, err := bm.FetchPage(ctx, 0, ReadIntent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	buf := make([]byte, 8)
+	for w := 0; w < workers; w++ {
+		if err := h.ReadAt(ctx, w*8, buf); err != nil {
+			t.Fatal(err)
+		}
+		sum += int64(binary.LittleEndian.Uint64(buf))
+	}
+	h.Release()
+	if sum != total.Load() {
+		t.Fatalf("page counters sum to %d, want %d", sum, total.Load())
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// errPoolExhausted is returned when no frame can be reclaimed: every frame
+// is pinned or under concurrent migration for the whole attempt budget.
+var errPoolExhausted = errors.New("core: buffer pool exhausted (all frames pinned)")
+
+// allocDeadline bounds the victim search in wall-clock time. Pins are
+// short-lived (the engine releases a handle before fetching the next page),
+// so allocation waits patiently — yielding via backoff — rather than
+// failing the moment more workers hold pins than the pool has frames. A
+// generous real-time deadline (rather than an iteration count) keeps the
+// search robust on heavily loaded hosts; it only expires if callers wedge
+// frames essentially forever.
+var allocDeadline = 10 * time.Second
+
+// allocExpired checks the deadline every few thousand iterations (time.Now
+// is too expensive to call per attempt).
+func allocExpired(i int, start *time.Time) bool {
+	if i&8191 != 8191 {
+		return false
+	}
+	if start.IsZero() {
+		*start = time.Now()
+		return false
+	}
+	return time.Since(*start) > allocDeadline
+}
+
+// alloc returns a frozen, clean DRAM frame, evicting a victim if the free
+// list is empty.
+func (p *dramPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
+	if f, ok := p.takeFree(); ok {
+		return f, nil
+	}
+	var searchStart time.Time
+	for i := 0; ; i++ {
+		if allocExpired(i, &searchStart) {
+			break
+		}
+		if f, ok := p.takeFree(); ok {
+			return f, nil
+		}
+		v := int32(p.clock.Victim())
+		if !p.meta[v].tryFreeze() {
+			backoff(i)
+			continue
+		}
+		if p.meta[v].pid.Load() == InvalidPageID {
+			// Defensive: a frozen frame with no page should only live on
+			// the free list; hand it out rather than losing it.
+			return v, nil
+		}
+		if bm.evictDRAMFrame(ctx, v) {
+			return v, nil
+		}
+	}
+	return noFrame, errPoolExhausted
+}
+
+// evictDRAMFrame evicts the page occupying frozen frame v, leaving the
+// frame frozen and clean for reuse. On failure the frame is thawed.
+func (bm *BufferManager) evictDRAMFrame(ctx *Ctx, v int32) bool {
+	p := bm.dram
+	m := &p.meta[v]
+	pid := m.pid.Load()
+	d, ok := bm.table.Get(pid)
+	if !ok {
+		m.thaw()
+		return false
+	}
+	d.mu.Lock()
+	match := d.dramFrame == v
+	d.mu.Unlock()
+	if !match {
+		m.thaw()
+		return false
+	}
+	if !d.latchD.TryLock() {
+		m.thaw()
+		return false
+	}
+	if !bm.writeBackDRAM(ctx, d, v) {
+		d.latchD.Unlock()
+		m.thaw()
+		return false
+	}
+	d.mu.Lock()
+	d.dramFrame = noFrame
+	d.mu.Unlock()
+	d.latchD.Unlock()
+	m.pid.Store(InvalidPageID)
+	m.dirty.Store(false)
+	m.fg.Store(nil)
+	p.clock.Unref(int(v))
+	bm.stats.evictDRAM.Inc()
+	return true
+}
+
+// writeBackDRAM makes frame v's contents durable-enough to drop: dirty data
+// is pushed to the NVM copy if one exists, otherwise admitted to NVM per Nw
+// (or HyMem's admission queue), otherwise written straight to SSD (§3.4).
+// Caller holds d.latchD and the frozen frame.
+func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) bool {
+	p := bm.dram
+	m := &p.meta[v]
+	fg := m.fg.Load()
+	dirty := m.dirty.Load()
+	loc := d.load()
+
+	// Cache-line-grained page backed by an NVM copy: write only the dirty
+	// units back (the bandwidth saving of HyMem's layout, Figure 2a).
+	if fg != nil && loc.nvmFrame != noFrame {
+		if !dirty {
+			return true
+		}
+		if !d.latchN.TryLock() {
+			return false
+		}
+		defer d.latchN.Unlock()
+		nm := &bm.nvm.meta[loc.nvmFrame]
+		if !nm.freezeWait(d.pid) {
+			return false
+		}
+		defer nm.thaw()
+		fg.mu.Lock()
+		frame := p.frame(v)
+		for u := 0; u < fg.unitsPerPage(); u++ {
+			if fg.isDirty(u) {
+				off := u * fg.unit
+				p.charge.ChargeRead(ctx.Clock, p.frameOffset(v)+int64(off), fg.unit)
+				bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, off, frame[off:off+fg.unit])
+			}
+		}
+		fg.clearDirty()
+		fg.mu.Unlock()
+		nm.dirty.Store(true)
+		bm.stats.dramToNVM.Inc()
+		return true
+	}
+	// A fine-grained page without an NVM copy is fully resident by
+	// invariant (the NVM evictor refuses to orphan partial pages), so the
+	// whole-page paths below are safe for it.
+
+	if !dirty {
+		// Spitfire simply discards clean pages (§3.3: only modified pages
+		// are considered for NVM admission). HyMem's admission queue,
+		// however, sees *every* page evicted from DRAM — its NVM buffer is
+		// a second-level cache — so in queue mode a clean page that earns
+		// admission is installed on NVM (clean: SSD already has it).
+		pol := bm.pol.Load()
+		if pol.NwMode != policy.NwAdmissionQueue || bm.admQueue == nil ||
+			bm.nvm == nil || loc.nvmFrame != noFrame || !bm.admQueue.Admit(d.pid) {
+			return true
+		}
+		if !d.latchN.TryLock() {
+			return true // clean: safe to just drop instead
+		}
+		nf, err := bm.nvm.alloc(bm, ctx)
+		if err == nil {
+			frame := p.frame(v)
+			p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
+			bm.nvm.writeHeader(ctx.Clock, nf, d.pid, true)
+			bm.nvm.writePayload(ctx.Clock, nf, 0, frame)
+			bm.nvm.meta[nf].pid.Store(d.pid)
+			bm.nvm.meta[nf].dirty.Store(false)
+			d.mu.Lock()
+			d.nvmFrame = nf
+			d.mu.Unlock()
+			bm.nvm.meta[nf].thaw()
+			bm.nvm.clock.Ref(int(nf))
+			bm.stats.dramToNVM.Inc()
+		}
+		d.latchN.Unlock()
+		return true
+	}
+
+	frame := p.frame(v)
+	if loc.nvmFrame != noFrame {
+		// Refresh the page's existing NVM copy so NVM never goes stale
+		// ahead of SSD write-back.
+		if !d.latchN.TryLock() {
+			return false
+		}
+		defer d.latchN.Unlock()
+		nm := &bm.nvm.meta[loc.nvmFrame]
+		if !nm.freezeWait(d.pid) {
+			return false
+		}
+		defer nm.thaw()
+		p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
+		bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, 0, frame)
+		nm.dirty.Store(true)
+		bm.stats.dramToNVM.Inc()
+		return true
+	}
+
+	// NVM admission decision (§3.4). HyMem consults its admission queue;
+	// Spitfire flips a Bernoulli(Nw) coin.
+	admit := false
+	if bm.nvm != nil {
+		pol := bm.pol.Load()
+		if pol.NwMode == policy.NwAdmissionQueue && bm.admQueue != nil {
+			admit = bm.admQueue.Admit(d.pid)
+		} else {
+			admit = ctx.bernoulli(pol.Nw)
+		}
+	}
+	if admit {
+		if !d.latchN.TryLock() {
+			return false
+		}
+		nf, err := bm.nvm.alloc(bm, ctx)
+		if err == nil {
+			p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
+			bm.nvm.writeHeader(ctx.Clock, nf, d.pid, true)
+			bm.nvm.writePayload(ctx.Clock, nf, 0, frame)
+			bm.nvm.meta[nf].pid.Store(d.pid)
+			bm.nvm.meta[nf].dirty.Store(true)
+			d.mu.Lock()
+			d.nvmFrame = nf
+			d.mu.Unlock()
+			bm.nvm.meta[nf].thaw()
+			bm.nvm.clock.Ref(int(nf))
+			d.latchN.Unlock()
+			bm.stats.dramToNVM.Inc()
+			return true
+		}
+		// NVM itself is unevictable right now; fall through to SSD.
+		d.latchN.Unlock()
+	}
+
+	if !d.latchS.TryLock() {
+		return false
+	}
+	defer d.latchS.Unlock()
+	p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
+	if err := bm.disk.WritePage(ctx.Clock, d.pid, frame); err != nil {
+		return false
+	}
+	bm.stats.dramToSSD.Inc()
+	return true
+}
+
+// allocMini returns a frozen, clean mini frame.
+func (p *dramPool) allocMini(bm *BufferManager, ctx *Ctx) (int32, error) {
+	mp := p.mini
+	if f, ok := mp.takeFree(); ok {
+		return f, nil
+	}
+	var searchStart time.Time
+	for i := 0; ; i++ {
+		if allocExpired(i, &searchStart) {
+			break
+		}
+		if f, ok := mp.takeFree(); ok {
+			return f, nil
+		}
+		v := int32(mp.clock.Victim())
+		if !mp.meta[v].tryFreeze() {
+			backoff(i)
+			continue
+		}
+		if mp.meta[v].pid.Load() == InvalidPageID {
+			return v, nil
+		}
+		if bm.evictMiniFrame(ctx, v) {
+			return v, nil
+		}
+	}
+	return noFrame, errPoolExhausted
+}
+
+// evictMiniFrame evicts the mini page in frozen mini frame v, writing dirty
+// slots back to the page's NVM copy.
+func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) bool {
+	mp := bm.dram.mini
+	m := &mp.meta[v]
+	pid := m.pid.Load()
+	d, ok := bm.table.Get(pid)
+	if !ok {
+		m.thaw()
+		return false
+	}
+	d.mu.Lock()
+	match := d.dramMini == v
+	d.mu.Unlock()
+	if !match {
+		m.thaw()
+		return false
+	}
+	if !d.latchD.TryLock() {
+		m.thaw()
+		return false
+	}
+	fg := m.fg.Load()
+	if m.dirty.Load() && fg != nil && fg.slotDirtyAny() {
+		loc := d.load()
+		if loc.nvmFrame == noFrame {
+			// Invariant violation guard: never drop dirty mini slots with
+			// no backing copy.
+			d.latchD.Unlock()
+			m.thaw()
+			return false
+		}
+		if !d.latchN.TryLock() {
+			d.latchD.Unlock()
+			m.thaw()
+			return false
+		}
+		nm := &bm.nvm.meta[loc.nvmFrame]
+		if !nm.freezeWait(pid) {
+			d.latchN.Unlock()
+			d.latchD.Unlock()
+			m.thaw()
+			return false
+		}
+		fg.mu.Lock()
+		data := mp.data(v)
+		for s := 0; s < fg.slotCount; s++ {
+			if fg.slotDirty&(1<<uint(s)) == 0 {
+				continue
+			}
+			u := int(fg.slots[s])
+			bm.dram.charge.ChargeRead(ctx.Clock, int64(int(v)*mp.slotSize+s*fg.unit), fg.unit)
+			bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, u*fg.unit, data[s*fg.unit:(s+1)*fg.unit])
+		}
+		fg.clearDirty()
+		fg.mu.Unlock()
+		nm.dirty.Store(true)
+		nm.thaw()
+		d.latchN.Unlock()
+		bm.stats.dramToNVM.Inc()
+	}
+	d.mu.Lock()
+	d.dramMini = noFrame
+	d.mu.Unlock()
+	d.latchD.Unlock()
+	m.pid.Store(InvalidPageID)
+	m.dirty.Store(false)
+	m.fg.Store(nil)
+	mp.clock.Unref(int(v))
+	bm.stats.evictMini.Inc()
+	return true
+}
+
+// slotDirtyAny reports whether any mini slot is dirty (lock-free peek; the
+// caller revalidates under fg.mu).
+func (fg *fgState) slotDirtyAny() bool { return fg.slotDirty != 0 }
+
+// alloc returns a frozen, clean NVM frame, evicting a victim if needed.
+func (np *nvmPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
+	if f, ok := np.takeFree(); ok {
+		return f, nil
+	}
+	var searchStart time.Time
+	for i := 0; ; i++ {
+		if allocExpired(i, &searchStart) {
+			break
+		}
+		if f, ok := np.takeFree(); ok {
+			return f, nil
+		}
+		v := int32(np.clock.Victim())
+		if !np.meta[v].tryFreeze() {
+			backoff(i)
+			continue
+		}
+		if np.meta[v].pid.Load() == InvalidPageID {
+			return v, nil
+		}
+		if bm.evictNVMFrame(ctx, v) {
+			return v, nil
+		}
+	}
+	return noFrame, errPoolExhausted
+}
+
+// evictNVMFrame evicts the page in frozen NVM frame v, writing it back to
+// SSD if dirty (path ❽). Pages whose DRAM copy is only partially resident
+// (cache-line-grained or mini) are skipped: evicting their backing store
+// would orphan them.
+func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) bool {
+	np := bm.nvm
+	m := &np.meta[v]
+	pid := m.pid.Load()
+	d, ok := bm.table.Get(pid)
+	if !ok {
+		m.thaw()
+		return false
+	}
+	d.mu.Lock()
+	match := d.nvmFrame == v
+	d.mu.Unlock()
+	if !match {
+		m.thaw()
+		return false
+	}
+	if !d.latchN.TryLock() {
+		m.thaw()
+		return false
+	}
+	// Re-check DRAM dependencies under latchN (migrations up require it,
+	// so no new fine-grained page can appear once we hold it).
+	d.mu.Lock()
+	mini := d.dramMini != noFrame
+	df := d.dramFrame
+	d.mu.Unlock()
+	if mini {
+		d.latchN.Unlock()
+		m.thaw()
+		return false
+	}
+	if df != noFrame && bm.dram != nil {
+		if fg := bm.dram.meta[df].fg.Load(); fg != nil && !fg.fullyResident() {
+			d.latchN.Unlock()
+			m.thaw()
+			return false
+		}
+	}
+	if m.dirty.Load() {
+		if !d.latchS.TryLock() {
+			d.latchN.Unlock()
+			m.thaw()
+			return false
+		}
+		buf := ctx.buf()
+		np.readPayload(ctx.Clock, v, 0, buf)
+		err := bm.disk.WritePage(ctx.Clock, pid, buf)
+		d.latchS.Unlock()
+		if err != nil {
+			d.latchN.Unlock()
+			m.thaw()
+			return false
+		}
+		bm.stats.nvmToSSD.Inc()
+	}
+	np.writeHeader(ctx.Clock, v, InvalidPageID, false)
+	d.mu.Lock()
+	d.nvmFrame = noFrame
+	d.mu.Unlock()
+	d.latchN.Unlock()
+	m.pid.Store(InvalidPageID)
+	m.dirty.Store(false)
+	np.clock.Unref(int(v))
+	bm.stats.evictNVM.Inc()
+	return true
+}

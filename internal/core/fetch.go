@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// FetchPage returns a pinned handle to page pid, applying the data-migration
+// policy of §3:
+//
+//   - DRAM hit: serve from DRAM.
+//   - NVM hit: with probability Dr (reads) or Dw (writes) migrate the page
+//     up to DRAM; otherwise serve it directly from NVM, which the CPU can
+//     operate on in place.
+//   - Miss: with probability Nr fetch SSD→NVM, otherwise SSD→DRAM
+//     (bypassing NVM).
+//
+// The caller must Release the handle, and must not fetch a page while
+// already holding a pinned handle to that same page.
+func (bm *BufferManager) FetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle, error) {
+	d := bm.descriptorFor(pid)
+	pol := bm.pol.Load()
+
+	for attempt := 0; ; attempt++ {
+		d.mu.Lock()
+		// DRAM full frame.
+		if f := d.dramFrame; f != noFrame {
+			if bm.dram.meta[f].tryPin() {
+				d.mu.Unlock()
+				bm.dram.clock.Ref(int(f))
+				bm.stats.hitDRAM.Inc()
+				return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+			}
+			d.mu.Unlock() // frozen mid-eviction; wait it out
+			backoff(attempt)
+			continue
+		}
+		// DRAM mini frame.
+		if f := d.dramMini; f != noFrame {
+			mp := bm.dram.mini
+			if mp.meta[f].tryPin() {
+				d.mu.Unlock()
+				mp.clock.Ref(int(f))
+				bm.stats.hitMini.Inc()
+				return &Handle{bm: bm, d: d, tier: TierMini, frame: f}, nil
+			}
+			d.mu.Unlock()
+			backoff(attempt)
+			continue
+		}
+		// NVM frame.
+		if f := d.nvmFrame; f != noFrame {
+			migrate := false
+			if bm.dram != nil {
+				p := pol.Dr
+				if intent == WriteIntent {
+					p = pol.Dw
+				}
+				migrate = ctx.bernoulli(p)
+			}
+			if !migrate {
+				if bm.nvm.meta[f].tryPin() {
+					d.mu.Unlock()
+					bm.nvm.clock.Ref(int(f))
+					bm.stats.hitNVM.Inc()
+					return &Handle{bm: bm, d: d, tier: TierNVM, frame: f}, nil
+				}
+				d.mu.Unlock()
+				backoff(attempt)
+				continue
+			}
+			d.mu.Unlock()
+			if h, err := bm.migrateUp(ctx, d); err != nil {
+				return nil, err
+			} else if h != nil {
+				return h, nil
+			}
+			continue // state changed under us; retry
+		}
+		d.mu.Unlock()
+
+		// Miss on both buffers: fetch from SSD.
+		h, err := bm.fetchMiss(ctx, d, pol)
+		if err != nil {
+			return nil, err
+		}
+		if h != nil {
+			bm.stats.missSSD.Inc()
+			return h, nil
+		}
+		// Lost an install race; retry.
+	}
+}
+
+// migrateUp moves page d from NVM to DRAM along path ❻ of Figure 3, keeping
+// the NVM copy (which the replacement policy will age out; the coexistence
+// of the two copies is what the inclusivity ratio of §3.3 measures).
+//
+// Per §5.2, it (1) acquires the DRAM and NVM latches, (2) waits for all
+// references to the NVM copy to drain so the DRAM copy cannot miss
+// concurrent modifications, and (3) copies and publishes. It returns
+// (nil, nil) if the descriptor changed underneath and the caller should
+// retry.
+func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
+	d.latchD.Lock()
+	d.latchN.Lock()
+	defer d.latchN.Unlock()
+	defer d.latchD.Unlock()
+
+	loc := d.load()
+	if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame == noFrame {
+		return nil, nil
+	}
+	nf := loc.nvmFrame
+	if !bm.nvm.meta[nf].freezeWait(d.pid) {
+		return nil, nil // long-held pins; let the caller serve from NVM
+	}
+	defer bm.nvm.meta[nf].thaw()
+
+	if bm.cfg.FineGrained {
+		// Fine-grained loading: install an empty cache-line-grained page
+		// (mini if enabled); units fault in on demand, so no bulk copy.
+		if bm.dram.mini != nil {
+			mf, err := bm.dram.allocMini(bm, ctx)
+			if err != nil {
+				return nil, nil // DRAM churn; serve from NVM this time
+			}
+			mp := bm.dram.mini
+			mp.meta[mf].pid.Store(d.pid)
+			mp.meta[mf].dirty.Store(false)
+			mp.meta[mf].fg.Store(newMiniFG(bm.cfg.LoadingUnit))
+			d.mu.Lock()
+			d.dramMini = mf
+			d.mu.Unlock()
+			mp.meta[mf].pins.Store(1)
+			mp.clock.Ref(int(mf))
+			bm.stats.migNVMToDRAM.Inc()
+			return &Handle{bm: bm, d: d, tier: TierMini, frame: mf}, nil
+		}
+		f, err := bm.dram.alloc(bm, ctx)
+		if err != nil {
+			return nil, nil
+		}
+		bm.dram.meta[f].pid.Store(d.pid)
+		bm.dram.meta[f].dirty.Store(false)
+		bm.dram.meta[f].fg.Store(newFullFG(bm.cfg.LoadingUnit))
+		d.mu.Lock()
+		d.dramFrame = f
+		d.mu.Unlock()
+		bm.dram.meta[f].pins.Store(1)
+		bm.dram.clock.Ref(int(f))
+		bm.stats.migNVMToDRAM.Inc()
+		return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+	}
+
+	// Whole-page migration.
+	f, err := bm.dram.alloc(bm, ctx)
+	if err != nil {
+		return nil, nil
+	}
+	bm.nvm.readPayload(ctx.Clock, nf, 0, bm.dram.frame(f))
+	bm.dram.charge.ChargeWrite(ctx.Clock, bm.dram.frameOffset(f), PageSize)
+	bm.dram.meta[f].pid.Store(d.pid)
+	bm.dram.meta[f].dirty.Store(false)
+	bm.dram.meta[f].fg.Store(nil)
+	d.mu.Lock()
+	d.dramFrame = f
+	d.mu.Unlock()
+	bm.dram.meta[f].pins.Store(1)
+	bm.dram.clock.Ref(int(f))
+	bm.stats.migNVMToDRAM.Inc()
+	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+}
+
+// fetchMiss brings page d in from SSD. With probability Nr it installs the
+// page in the NVM buffer (path ❼ of Figure 3); otherwise it bypasses NVM
+// and loads straight into DRAM (path ❾, §3.3). It returns (nil, nil) if a
+// concurrent fetch installed the page first.
+func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) (*Handle, error) {
+	toNVM := bm.nvm != nil && (bm.dram == nil || ctx.bernoulli(pol.Nr))
+
+	if toNVM {
+		d.latchN.Lock()
+		d.latchS.Lock()
+		defer d.latchS.Unlock()
+		defer d.latchN.Unlock()
+		loc := d.load()
+		if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame != noFrame {
+			return nil, nil
+		}
+		nf, err := bm.nvm.alloc(bm, ctx)
+		if err != nil {
+			return nil, err
+		}
+		buf := ctx.buf()
+		if err := bm.disk.ReadPage(ctx.Clock, d.pid, buf); err != nil {
+			bm.nvm.release(nf)
+			return nil, fmt.Errorf("core: fetch page %d: %w", d.pid, err)
+		}
+		bm.nvm.writeHeader(ctx.Clock, nf, d.pid, true)
+		bm.nvm.writePayload(ctx.Clock, nf, 0, buf)
+		bm.nvm.meta[nf].pid.Store(d.pid)
+		bm.nvm.meta[nf].dirty.Store(false)
+		d.mu.Lock()
+		d.nvmFrame = nf
+		d.mu.Unlock()
+		bm.nvm.meta[nf].pins.Store(1)
+		bm.nvm.clock.Ref(int(nf))
+		bm.stats.ssdToNVM.Inc()
+		return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf}, nil
+	}
+
+	d.latchD.Lock()
+	d.latchS.Lock()
+	defer d.latchS.Unlock()
+	defer d.latchD.Unlock()
+	loc := d.load()
+	if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame != noFrame {
+		return nil, nil
+	}
+	f, err := bm.dram.alloc(bm, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := bm.disk.ReadPage(ctx.Clock, d.pid, bm.dram.frame(f)); err != nil {
+		bm.dram.release(f)
+		return nil, fmt.Errorf("core: fetch page %d: %w", d.pid, err)
+	}
+	bm.dram.charge.ChargeWrite(ctx.Clock, bm.dram.frameOffset(f), PageSize)
+	bm.dram.meta[f].pid.Store(d.pid)
+	bm.dram.meta[f].dirty.Store(false)
+	bm.dram.meta[f].fg.Store(nil)
+	d.mu.Lock()
+	d.dramFrame = f
+	d.mu.Unlock()
+	bm.dram.meta[f].pins.Store(1)
+	bm.dram.clock.Ref(int(f))
+	bm.stats.ssdToDRAM.Inc()
+	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+}
+
+// NewPage allocates a fresh, zeroed page and returns it pinned. Placement
+// follows Dw (§3.2): with probability Dw the page is buffered in DRAM (the
+// group-commit-style route through volatile memory); otherwise it is
+// created directly in the NVM buffer, where writes are immediately durable.
+func (bm *BufferManager) NewPage(ctx *Ctx) (PageID, *Handle, error) {
+	pid := bm.AllocatePageID()
+	h, err := bm.materialize(ctx, pid)
+	if err != nil {
+		return 0, nil, err
+	}
+	return pid, h, nil
+}
+
+// materialize creates a zeroed, dirty, pinned frame for pid, which must not
+// be resident anywhere.
+func (bm *BufferManager) materialize(ctx *Ctx, pid PageID) (*Handle, error) {
+	d := bm.descriptorFor(pid)
+	pol := bm.pol.Load()
+	toDRAM := bm.dram != nil && (bm.nvm == nil || ctx.bernoulli(pol.Dw))
+
+	if toDRAM {
+		d.latchD.Lock()
+		defer d.latchD.Unlock()
+		f, err := bm.dram.alloc(bm, ctx)
+		if err != nil {
+			return nil, err
+		}
+		fr := bm.dram.frame(f)
+		for i := range fr {
+			fr[i] = 0
+		}
+		bm.dram.charge.ChargeWrite(ctx.Clock, bm.dram.frameOffset(f), PageSize)
+		bm.dram.meta[f].pid.Store(pid)
+		bm.dram.meta[f].dirty.Store(true)
+		bm.dram.meta[f].fg.Store(nil)
+		d.mu.Lock()
+		d.dramFrame = f
+		d.mu.Unlock()
+		bm.dram.meta[f].pins.Store(1)
+		bm.dram.clock.Ref(int(f))
+		return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+	}
+
+	d.latchN.Lock()
+	defer d.latchN.Unlock()
+	nf, err := bm.nvm.alloc(bm, ctx)
+	if err != nil {
+		return nil, err
+	}
+	buf := ctx.buf()
+	for i := range buf {
+		buf[i] = 0
+	}
+	bm.nvm.writeHeader(ctx.Clock, nf, pid, true)
+	bm.nvm.writePayload(ctx.Clock, nf, 0, buf)
+	bm.nvm.meta[nf].pid.Store(pid)
+	bm.nvm.meta[nf].dirty.Store(true)
+	d.mu.Lock()
+	d.nvmFrame = nf
+	d.mu.Unlock()
+	bm.nvm.meta[nf].pins.Store(1)
+	bm.nvm.clock.Ref(int(nf))
+	return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf}, nil
+}
+
+// MaterializePage returns a pinned handle to page pid, creating a zeroed
+// frame if the page exists nowhere (neither buffered nor on SSD). Recovery
+// uses it to re-create pages whose only record is in the log.
+func (bm *BufferManager) MaterializePage(ctx *Ctx, pid PageID) (*Handle, error) {
+	d := bm.descriptorFor(pid)
+	loc := d.load()
+	if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame != noFrame ||
+		bm.disk.Contains(pid) {
+		return bm.FetchPage(ctx, pid, WriteIntent)
+	}
+	if bm.nextPID.Load() <= pid {
+		bm.nextPID.Store(pid + 1)
+	}
+	return bm.materialize(ctx, pid)
+}
+
+// SeedPage writes a page directly to SSD, bypassing the buffers. Loaders
+// use it to build fixtures; it also bumps the page-id allocator past pid.
+func (bm *BufferManager) SeedPage(ctx *Ctx, pid PageID, data []byte) error {
+	if err := bm.disk.WritePage(ctx.Clock, pid, data); err != nil {
+		return err
+	}
+	for {
+		next := bm.nextPID.Load()
+		if next > pid {
+			return nil
+		}
+		if bm.nextPID.CompareAndSwap(next, pid+1) {
+			return nil
+		}
+	}
+}

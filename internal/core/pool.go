@@ -1,0 +1,258 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/spitfire-db/spitfire/internal/bitmapclock"
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/vclock"
+)
+
+// frameMeta is the volatile metadata of one buffer frame.
+//
+// pins encodes the frame's lifecycle: -1 means frozen (owned exclusively by
+// an allocator/evictor/migrator and invisible to fetchers), 0 means resident
+// and unpinned, >0 counts pinned users. Frames on the free list are frozen.
+type frameMeta struct {
+	pid   atomic.Uint64
+	pins  atomic.Int32
+	dirty atomic.Bool
+	fg    atomic.Pointer[fgState] // fine-grained residency; DRAM full frames only
+}
+
+// tryPin attempts to pin the frame; it fails if the frame is frozen.
+func (f *frameMeta) tryPin() bool {
+	for {
+		p := f.pins.Load()
+		if p < 0 {
+			return false
+		}
+		if f.pins.CompareAndSwap(p, p+1) {
+			return true
+		}
+	}
+}
+
+// unpin drops one pin.
+func (f *frameMeta) unpin() { f.pins.Add(-1) }
+
+// tryFreeze attempts to take exclusive ownership of an unpinned frame.
+func (f *frameMeta) tryFreeze() bool { return f.pins.CompareAndSwap(0, -1) }
+
+// freezeWait spins until the frame's pin count drains to zero and freezes
+// it. It returns false if the wait budget is exhausted or the frame was
+// freed/retargeted concurrently (detected via pid change).
+func (f *frameMeta) freezeWait(pid PageID) bool {
+	for i := 0; i < waitBudget; i++ {
+		if f.pid.Load() != pid {
+			return false
+		}
+		if f.tryFreeze() {
+			return true
+		}
+		backoff(i)
+	}
+	return false
+}
+
+// thaw releases exclusive ownership, making the frame pinnable again.
+func (f *frameMeta) thaw() { f.pins.Store(0) }
+
+// replacer abstracts the page-replacement policy over a pool's frames.
+// Both the concurrent-bitmap CLOCK the paper uses and the generalized
+// (counter-based) GCLOCK of the cited NB-GCLOCK design satisfy it.
+type replacer interface {
+	Ref(i int)
+	Unref(i int)
+	Referenced(i int) bool
+	Victim() int
+	Len() int
+}
+
+// newReplacer picks the policy for a pool: weight <= 1 is classic CLOCK,
+// larger weights give frames that many sweep-survivals (GCLOCK).
+func newReplacer(nFrames, weight int) replacer {
+	if weight > 1 {
+		return bitmapclock.NewGClock(nFrames, weight)
+	}
+	return bitmapclock.New(nFrames)
+}
+
+// basePool holds the bookkeeping shared by the DRAM and NVM pools.
+type basePool struct {
+	nFrames int
+	meta    []frameMeta
+	clock   replacer
+	free    chan int32
+}
+
+func newBasePool(nFrames, clockWeight int) basePool {
+	p := basePool{
+		nFrames: nFrames,
+		meta:    make([]frameMeta, nFrames),
+		clock:   newReplacer(nFrames, clockWeight),
+		free:    make(chan int32, nFrames),
+	}
+	for i := range p.meta {
+		p.meta[i].pid.Store(InvalidPageID)
+		p.meta[i].pins.Store(-1) // free frames are frozen
+		p.free <- int32(i)
+	}
+	return p
+}
+
+// takeFree pops a frame from the free list, if any. The frame is frozen.
+func (p *basePool) takeFree() (int32, bool) {
+	select {
+	case f := <-p.free:
+		return f, true
+	default:
+		return noFrame, false
+	}
+}
+
+// release returns a frozen frame to the free list.
+func (p *basePool) release(f int32) {
+	p.meta[f].pid.Store(InvalidPageID)
+	p.meta[f].dirty.Store(false)
+	p.meta[f].fg.Store(nil)
+	p.clock.Unref(int(f))
+	p.free <- f
+}
+
+// dramPool is the DRAM buffer: a plain arena priced by a MemCharger.
+// When mini pages are enabled a slice of the budget is carved into mini
+// frames (16 loading units each) with their own CLOCK.
+type dramPool struct {
+	basePool
+	arena  []byte
+	charge MemCharger
+
+	// mini-page arena (nil when disabled)
+	mini *miniPool
+}
+
+type miniPool struct {
+	basePool
+	arena    []byte
+	unit     int
+	slotSize int // 16*unit bytes of data per mini frame
+}
+
+func newDRAMPool(cfg Config, charge MemCharger) (*dramPool, error) {
+	budget := cfg.DRAMBytes
+	var miniBudget int64
+	if cfg.MiniPages {
+		miniBudget = int64(float64(budget) * cfg.MiniArenaFraction)
+		budget -= miniBudget
+	}
+	nFrames := int(budget / PageSize)
+	if nFrames < 1 {
+		return nil, fmt.Errorf("core: DRAM buffer of %d bytes holds no %d-byte page", cfg.DRAMBytes, PageSize)
+	}
+	dp := &dramPool{
+		basePool: newBasePool(nFrames, cfg.ClockWeight),
+		arena:    make([]byte, int64(nFrames)*PageSize),
+		charge:   charge,
+	}
+	if cfg.MiniPages {
+		slotSize := miniSlots * cfg.LoadingUnit
+		nMini := int(miniBudget / int64(slotSize))
+		if nMini < 1 {
+			nMini = 1
+		}
+		dp.mini = &miniPool{
+			basePool: newBasePool(nMini, cfg.ClockWeight),
+			arena:    make([]byte, nMini*slotSize),
+			unit:     cfg.LoadingUnit,
+			slotSize: slotSize,
+		}
+	}
+	return dp, nil
+}
+
+// frame returns the full-frame payload slice.
+func (p *dramPool) frame(i int32) []byte {
+	off := int64(i) * PageSize
+	return p.arena[off : off+PageSize : off+PageSize]
+}
+
+// frameOffset is the arena offset of frame i (used for memory-mode pricing).
+func (p *dramPool) frameOffset(i int32) int64 { return int64(i) * PageSize }
+
+// data returns the mini-frame payload slice.
+func (p *miniPool) data(i int32) []byte {
+	off := int(i) * p.slotSize
+	return p.arena[off : off+p.slotSize : off+p.slotSize]
+}
+
+// nvmPool is the NVM buffer, carved out of a persistent-memory arena. Each
+// frame is prefixed with a self-identifying header so recovery can rebuild
+// the mapping table by scanning the arena.
+type nvmPool struct {
+	basePool
+	pm *pmem.PMem
+}
+
+func newNVMPool(cfg Config) (*nvmPool, error) {
+	nFrames := int(cfg.NVMBytes / nvmFrameSlot)
+	if nFrames < 1 {
+		return nil, fmt.Errorf("core: NVM buffer of %d bytes holds no frame", cfg.NVMBytes)
+	}
+	pm := cfg.PMem
+	if pm == nil {
+		pm = pmem.New(pmem.Options{Size: int64(nFrames) * nvmFrameSlot})
+	} else if pm.Size() < int64(nFrames)*nvmFrameSlot {
+		nFrames = int(pm.Size() / nvmFrameSlot)
+		if nFrames < 1 {
+			return nil, fmt.Errorf("core: provided pmem arena of %d bytes holds no frame", pm.Size())
+		}
+	}
+	return &nvmPool{basePool: newBasePool(nFrames, cfg.ClockWeight), pm: pm}, nil
+}
+
+// payloadOffset is the arena offset of frame i's page payload.
+func (p *nvmPool) payloadOffset(i int32) int64 {
+	return int64(i)*nvmFrameSlot + nvmFrameHeaderSize
+}
+
+// headerOffset is the arena offset of frame i's header.
+func (p *nvmPool) headerOffset(i int32) int64 { return int64(i) * nvmFrameSlot }
+
+// writeHeader installs (and persists) frame i's self-identifying header.
+func (p *nvmPool) writeHeader(c *vclock.Clock, i int32, pid PageID, valid bool) {
+	var hdr [16]byte
+	magic := uint32(0)
+	if valid {
+		magic = nvmFrameMagic
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint64(hdr[8:16], pid)
+	p.pm.Write(c, p.headerOffset(i), hdr[:])
+	p.pm.Persist(c, p.headerOffset(i), len(hdr))
+}
+
+// readHeader decodes frame i's header without charging a device (recovery
+// scans charge separately).
+func (p *nvmPool) readHeader(i int32) (pid PageID, valid bool) {
+	hdr := p.pm.Bytes(p.headerOffset(i), 16)
+	if binary.LittleEndian.Uint32(hdr[0:4]) != nvmFrameMagic {
+		return InvalidPageID, false
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), true
+}
+
+// writePayload stores (and persists) page data into frame i at the given
+// offset within the page.
+func (p *nvmPool) writePayload(c *vclock.Clock, i int32, off int, data []byte) {
+	base := p.payloadOffset(i) + int64(off)
+	p.pm.Write(c, base, data)
+	p.pm.Persist(c, base, len(data))
+}
+
+// readPayload loads page data from frame i at the given in-page offset.
+func (p *nvmPool) readPayload(c *vclock.Clock, i int32, off int, buf []byte) {
+	p.pm.Read(c, p.payloadOffset(i)+int64(off), buf)
+}

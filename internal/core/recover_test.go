@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/policy"
+	"github.com/spitfire-db/spitfire/internal/ssd"
+)
+
+// crashConfig builds a manager whose NVM arena tracks crashes and whose SSD
+// is shared, so a successor manager can be built on the survivors.
+func crashConfig(nvmFrames int) (Config, *pmem.PMem, ssd.Store) {
+	pm := pmem.New(pmem.Options{
+		Size:         int64(nvmFrames) * nvmFrameSlot,
+		TrackCrashes: true,
+	})
+	disk := ssd.NewMem(nil)
+	return Config{
+		DRAMBytes: 4 * PageSize,
+		NVMBytes:  int64(nvmFrames) * nvmFrameSlot,
+		Policy:    policy.SpitfireEager,
+		PMem:      pm,
+		SSD:       disk,
+	}, pm, disk
+}
+
+func TestRecoverRebuildsNVMBuffer(t *testing.T) {
+	cfg, pm, disk := crashConfig(8)
+	bm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewCtx(30)
+	// Seed four pages and update them through the NVM buffer. NVM writes
+	// are persisted (clwb+sfence) by the write path.
+	buf := make([]byte, PageSize)
+	for pid := uint64(0); pid < 4; pid++ {
+		marker(buf, pid, 0)
+		if err := bm.SeedPage(ctx, pid, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pull pages into NVM (first fetch installs there under Nr=1) and
+	// update them in place.
+	for pid := uint64(0); pid < 4; pid++ {
+		h, err := bm.FetchPage(ctx, pid, WriteIntent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Tier() != TierNVM {
+			t.Fatalf("setup: page %d served from %v", pid, h.Tier())
+		}
+		if err := h.WriteAt(ctx, 64, []byte("survivor")); err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+
+	// Crash: unpersisted state is lost; NVM page writes were persisted.
+	pm.Crash()
+
+	cfg2 := cfg
+	cfg2.PMem = pm
+	cfg2.SSD = disk
+	bm2, err := Recover(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := bm2.Stats(); st.RecoveredNVMPages != 4 {
+		t.Fatalf("recovered %d pages, want 4", st.RecoveredNVMPages)
+	}
+	got := make([]byte, 8)
+	for pid := uint64(0); pid < 4; pid++ {
+		h, err := bm2.FetchPage(ctx, pid, ReadIntent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.ReadAt(ctx, 64, got); err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+		if string(got) != "survivor" {
+			t.Fatalf("page %d lost NVM update across crash: %q", pid, got)
+		}
+	}
+	// The allocator must not reuse recovered ids.
+	if bm2.NextPageID() < 4 {
+		t.Fatalf("next page id %d would collide with recovered pages", bm2.NextPageID())
+	}
+}
+
+func TestRecoverEmptyArena(t *testing.T) {
+	cfg, _, _ := crashConfig(8)
+	bm, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := bm.Stats(); st.RecoveredNVMPages != 0 {
+		t.Fatalf("recovered %d pages from an empty arena", st.RecoveredNVMPages)
+	}
+	// All frames must be allocatable.
+	ctx := NewCtx(31)
+	for i := 0; i < 8; i++ {
+		_, h, err := bm.NewPage(ctx)
+		if err != nil {
+			t.Fatalf("frame %d unavailable after empty recovery: %v", i, err)
+		}
+		h.Release()
+	}
+}
+
+func TestRecoverRequiresArena(t *testing.T) {
+	if _, err := Recover(Config{DRAMBytes: PageSize, NVMBytes: nvmFrameSlot}); err == nil {
+		t.Fatal("Recover without an arena succeeded")
+	}
+}
+
+func TestRecoveredPagesEvictToSSD(t *testing.T) {
+	// Recovered pages are conservatively dirty: churning them out of a
+	// small recovered NVM buffer must write them to SSD, not lose them.
+	cfg, pm, disk := crashConfig(4)
+	cfg.DRAMBytes = 0 // NVM-SSD hierarchy for simplicity
+	bm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewCtx(32)
+	buf := make([]byte, PageSize)
+	for pid := uint64(0); pid < 4; pid++ {
+		marker(buf, pid, 0)
+		if err := bm.SeedPage(ctx, pid, buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := bm.FetchPage(ctx, pid, WriteIntent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.WriteAt(ctx, 0, []byte{0xC7}); err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	pm.Crash()
+
+	cfg2 := cfg
+	cfg2.PMem = pm
+	cfg2.SSD = disk
+	bm2, err := Recover(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the 4-frame NVM buffer with 4 new pages, evicting the
+	// recovered ones to SSD.
+	for i := 0; i < 4; i++ {
+		pid := uint64(100 + i)
+		marker(buf, pid, 0)
+		if err := bm2.SeedPage(ctx, pid, buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := bm2.FetchPage(ctx, pid, ReadIntent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	// The recovered updates must now be on SSD.
+	for pid := uint64(0); pid < 4; pid++ {
+		want := make([]byte, PageSize)
+		marker(want, pid, 0)
+		want[0] = 0xC7
+		got := make([]byte, PageSize)
+		if err := disk.ReadPage(ctx.Clock, pid, got); err != nil {
+			t.Fatalf("page %d missing from SSD after recovered eviction: %v", pid, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("page %d content wrong after recovered eviction", pid)
+		}
+	}
+}

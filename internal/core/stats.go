@@ -1,0 +1,110 @@
+package core
+
+import "github.com/spitfire-db/spitfire/internal/metrics"
+
+// bmStats counts the buffer manager's traffic along the data-flow paths of
+// Figure 3 plus hit/miss/eviction activity.
+type bmStats struct {
+	hitDRAM, hitMini, hitNVM, missSSD metrics.Counter
+	migNVMToDRAM, ssdToDRAM, ssdToNVM metrics.Counter
+	dramToNVM, dramToSSD, nvmToSSD    metrics.Counter
+	evictDRAM, evictMini, evictNVM    metrics.Counter
+	fgUnitLoads, miniPromotions       metrics.Counter
+	flushedDRAMPages, flushedNVMPages metrics.Counter
+	recoveredNVMPages                 metrics.Counter
+}
+
+// Stats is a snapshot of the buffer manager's counters.
+type Stats struct {
+	HitDRAM, HitMini, HitNVM, MissSSD int64 // where fetches were served
+
+	// Migrations along the Figure 3 data-flow paths.
+	NVMToDRAM int64 // path ❻ (upward migration on access)
+	SSDToDRAM int64 // path ❾ (NVM bypass on reads)
+	SSDToNVM  int64 // path ❼ (default read path, probability Nr)
+	DRAMToNVM int64 // path ❹ (NVM admission on DRAM eviction)
+	DRAMToSSD int64 // path ❿ (NVM bypass on writes)
+	NVMToSSD  int64 // path ❽ (NVM eviction write-back)
+
+	EvictDRAM, EvictMini, EvictNVM int64
+	FGUnitLoads, MiniPromotions    int64
+	FlushedDRAMPages               int64
+	FlushedNVMPages                int64
+	RecoveredNVMPages              int64
+}
+
+// Stats snapshots the manager's counters.
+func (bm *BufferManager) Stats() Stats {
+	s := &bm.stats
+	return Stats{
+		HitDRAM: s.hitDRAM.Load(), HitMini: s.hitMini.Load(),
+		HitNVM: s.hitNVM.Load(), MissSSD: s.missSSD.Load(),
+		NVMToDRAM: s.migNVMToDRAM.Load(),
+		SSDToDRAM: s.ssdToDRAM.Load(), SSDToNVM: s.ssdToNVM.Load(),
+		DRAMToNVM: s.dramToNVM.Load(), DRAMToSSD: s.dramToSSD.Load(),
+		NVMToSSD:  s.nvmToSSD.Load(),
+		EvictDRAM: s.evictDRAM.Load(), EvictMini: s.evictMini.Load(),
+		EvictNVM:    s.evictNVM.Load(),
+		FGUnitLoads: s.fgUnitLoads.Load(), MiniPromotions: s.miniPromotions.Load(),
+		FlushedDRAMPages:  s.flushedDRAMPages.Load(),
+		FlushedNVMPages:   s.flushedNVMPages.Load(),
+		RecoveredNVMPages: s.recoveredNVMPages.Load(),
+	}
+}
+
+// ResetStats zeroes the hit/migration counters (buffer contents are kept).
+func (bm *BufferManager) ResetStats() {
+	s := &bm.stats
+	for _, c := range []*metrics.Counter{
+		&s.hitDRAM, &s.hitMini, &s.hitNVM, &s.missSSD,
+		&s.migNVMToDRAM, &s.ssdToDRAM, &s.ssdToNVM,
+		&s.dramToNVM, &s.dramToSSD, &s.nvmToSSD,
+		&s.evictDRAM, &s.evictMini, &s.evictNVM,
+		&s.fgUnitLoads, &s.miniPromotions,
+		&s.flushedDRAMPages, &s.flushedNVMPages, &s.recoveredNVMPages,
+	} {
+		c.Store(0)
+	}
+}
+
+// Inclusivity computes the paper's inclusivity ratio (§3.3):
+//
+//	#pages in both DRAM and NVM buffers / #pages in either buffer
+//
+// Lower non-zero values mean less duplication and therefore more effective
+// combined buffer capacity (Table 2).
+func (bm *BufferManager) Inclusivity() float64 {
+	both, either := 0, 0
+	bm.table.Range(func(_ PageID, d *descriptor) bool {
+		l := d.load()
+		inDRAM := l.dramFrame != noFrame || l.dramMini != noFrame
+		inNVM := l.nvmFrame != noFrame
+		if inDRAM || inNVM {
+			either++
+		}
+		if inDRAM && inNVM {
+			both++
+		}
+		return true
+	})
+	if either == 0 {
+		return 0
+	}
+	return float64(both) / float64(either)
+}
+
+// ResidentPages reports how many distinct pages currently sit in each
+// buffer (diagnostics for the capacity experiments).
+func (bm *BufferManager) ResidentPages() (dram, nvm int) {
+	bm.table.Range(func(_ PageID, d *descriptor) bool {
+		l := d.load()
+		if l.dramFrame != noFrame || l.dramMini != noFrame {
+			dram++
+		}
+		if l.nvmFrame != noFrame {
+			nvm++
+		}
+		return true
+	})
+	return dram, nvm
+}

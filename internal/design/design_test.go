@@ -1,0 +1,89 @@
+package design
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCostMatchesFigure14a(t *testing.T) {
+	// Spot-check against the cost matrix of Figure 14a (200 GB SSD).
+	cases := []struct {
+		dram, nvm float64
+		want      float64
+	}{
+		{0, 0, 560},  // SSD only: 200 * 2.8
+		{4, 0, 600},  // + 4 GB DRAM * 10
+		{4, 40, 780}, // + 40 GB NVM * 4.5
+		{4, 80, 960},
+		{8, 0, 640},
+		{8, 80, 1000},
+	}
+	for _, c := range cases {
+		got := Cost(Hierarchy{DRAMGB: c.dram, NVMGB: c.nvm, SSDGB: 200})
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Cost(DRAM=%g, NVM=%g) = %g, want %g", c.dram, c.nvm, got, c.want)
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid()
+	if len(g) != 5*4-1 {
+		t.Fatalf("grid has %d candidates, want 19", len(g))
+	}
+	for _, h := range g {
+		if h.SSDGB != 200 {
+			t.Fatalf("candidate %v lacks the 200 GB SSD", h)
+		}
+		if h.DRAMGB == 0 && h.NVMGB == 0 {
+			t.Fatal("bufferless candidate included")
+		}
+	}
+}
+
+func TestSearchRanksByPerfPrice(t *testing.T) {
+	// Synthetic response: throughput grows with buffer bytes but with
+	// diminishing returns, so mid-size hierarchies win on perf/price.
+	tput := func(h Hierarchy) float64 {
+		buf := h.DRAMGB*2 + h.NVMGB // DRAM counts double
+		return 1e5 * buf / (buf + 50)
+	}
+	res := Search(Grid(), tput)
+	for i := 1; i < len(res); i++ {
+		if res[i].PerfPrice > res[i-1].PerfPrice {
+			t.Fatalf("results not sorted at %d", i)
+		}
+	}
+	best, ok := Best(res, 0)
+	if !ok {
+		t.Fatal("no best result")
+	}
+	if best.PerfPrice != res[0].PerfPrice {
+		t.Fatal("Best disagrees with sort order")
+	}
+	// A budget below the cheapest candidate yields nothing.
+	if _, ok := Best(res, 1); ok {
+		t.Fatal("impossible budget produced a result")
+	}
+	// A tight budget excludes expensive hierarchies.
+	budget := 700.0
+	capped, ok := Best(res, budget)
+	if !ok {
+		t.Fatal("feasible budget produced nothing")
+	}
+	if capped.Cost > budget {
+		t.Fatalf("Best returned cost %g over budget %g", capped.Cost, budget)
+	}
+}
+
+func TestSearchHandlesFailures(t *testing.T) {
+	res := Search(Grid(), func(Hierarchy) float64 { return 0 })
+	for _, r := range res {
+		if r.PerfPrice != 0 {
+			t.Fatal("zero-throughput candidate got nonzero perf/price")
+		}
+	}
+	if _, ok := Best(res, 0); ok {
+		t.Fatal("Best found a candidate among failures")
+	}
+}

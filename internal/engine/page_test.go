@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+)
+
+func TestSlotGeometry(t *testing.T) {
+	// YCSB: 1000 B payloads yield 16 slots per 16 KB page, matching the
+	// paper's ~16 x 1 KB tuples per page.
+	if got := slotsPerPage(1000); got != 16 {
+		t.Fatalf("slotsPerPage(1000) = %d, want 16", got)
+	}
+	// Slots never overflow the page.
+	for _, size := range []int{8, 64, 100, 256, 560, 1000, 4000} {
+		n := slotsPerPage(size)
+		if n < 1 {
+			t.Fatalf("tuple size %d fits no slot", size)
+		}
+		end := slotOffset(size, n-1) + slotSize(size)
+		if end > core.PageSize {
+			t.Fatalf("tuple size %d: slot %d ends at %d", size, n-1, end)
+		}
+		if err := validateSlot(size, n-1); err != nil {
+			t.Fatal(err)
+		}
+		if err := validateSlot(size, n); err == nil {
+			t.Fatalf("slot %d validated for tuple size %d", n, size)
+		}
+	}
+}
+
+func TestRIDPacking(t *testing.T) {
+	f := func(pid uint64, slot uint16) bool {
+		pid %= 1 << 50
+		s := int(slot) % (1 << ridSlotBits)
+		gp, gs := splitRID(makeRID(pid, s))
+		return gp == pid && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleHeaderRoundTrip(t *testing.T) {
+	f := func(wts uint64, tomb bool) bool {
+		wts &= wtsMask
+		h := tupleHeader(wts, tomb)
+		gw, occ, gt := parseTupleHeader(h)
+		return gw == wts && occ && gt == tomb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The zero header is unoccupied.
+	if _, occ, _ := parseTupleHeader(0); occ {
+		t.Fatal("zero header parsed as occupied")
+	}
+}
+
+func TestPageHeaderRoundTrip(t *testing.T) {
+	buf := make([]byte, pageHeaderSize)
+	encodePageHeader(buf, 42, 1000)
+	id, size, ok := decodePageHeader(buf)
+	if !ok || id != 42 || size != 1000 {
+		t.Fatalf("decode = (%d, %d, %v)", id, size, ok)
+	}
+	// Garbage is rejected.
+	if _, _, ok := decodePageHeader(make([]byte, pageHeaderSize)); ok {
+		t.Fatal("zero header decoded")
+	}
+}
+
+func TestSlotImageRoundTrip(t *testing.T) {
+	f := func(key uint64, payload []byte) bool {
+		if len(payload) > 128 {
+			payload = payload[:128]
+		}
+		size := 128
+		raw := make([]byte, slotSize(size))
+		p := make([]byte, size)
+		copy(p, payload)
+		buildSlot(raw, tupleHeader(77, false), key, p)
+		img := parseSlot(raw)
+		wts, occ, tomb := parseTupleHeader(img.header)
+		return wts == 77 && occ && !tomb && img.key == key && bytes.Equal(img.payload, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateTableLimits(t *testing.T) {
+	db := newTestDB(t, false)
+	if _, err := db.CreateTable(1, "too-big", core.PageSize); err == nil {
+		t.Fatal("page-sized tuple accepted")
+	}
+	if _, err := db.CreateTable(1, "zero", 0); err == nil {
+		t.Fatal("zero tuple accepted")
+	}
+	// Even the smallest tuples stay under the RID slot bits (a 17-byte
+	// slot yields at most 960 slots per page, < 2^12).
+	if _, err := db.CreateTable(1, "tiny", 1); err != nil {
+		t.Fatalf("1-byte tuples rejected: %v", err)
+	}
+	if _, err := db.CreateTable(2, "ok", 16); err != nil {
+		t.Fatalf("16-byte tuples rejected: %v", err)
+	}
+	if _, err := db.CreateTable(2, "dup", 16); err == nil {
+		t.Fatal("duplicate table id accepted")
+	}
+}

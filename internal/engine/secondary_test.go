@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/policy"
+	"github.com/spitfire-db/spitfire/internal/ssd"
+	"github.com/spitfire-db/spitfire/internal/wal"
+)
+
+// nameOf derives a string key from the payload's first 8 bytes.
+func nameOf(primary uint64, payload []byte) string {
+	return fmt.Sprintf("name-%03d", binary.LittleEndian.Uint64(payload)%1000)
+}
+
+func newSecDB(t *testing.T) (*DB, *Table, *SecondaryIndex[string]) {
+	t.Helper()
+	db := newTestDB(t, true)
+	tb, err := db.CreateTable(1, "people", testTupleSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := AddSecondaryIndex(tb, "by-name", nameOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tb, ix
+}
+
+func namePayload(v uint64) []byte {
+	p := make([]byte, testTupleSize)
+	binary.LittleEndian.PutUint64(p, v)
+	return p
+}
+
+func TestSecondaryMaintainedOnLoad(t *testing.T) {
+	_, tb, ix := newSecDB(t)
+	ctx := newCtx(80)
+	if err := tb.Load(ctx, 10, func(i uint64, p []byte) uint64 {
+		binary.LittleEndian.PutUint64(p, i)
+		return i
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 10 {
+		t.Fatalf("secondary has %d entries", ix.Len())
+	}
+	if primary, ok := ix.Lookup("name-007"); !ok || primary != 7 {
+		t.Fatalf("Lookup = %d, %v", primary, ok)
+	}
+}
+
+func TestSecondaryInsertAndAbort(t *testing.T) {
+	db, tb, ix := newSecDB(t)
+	ctx := newCtx(81)
+
+	txn := db.Begin()
+	if err := tb.Insert(ctx, txn, 1, namePayload(42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("name-042"); !ok {
+		t.Fatal("secondary entry missing before commit")
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aborted insert removes the entry.
+	txn = db.Begin()
+	if err := tb.Insert(ctx, txn, 2, namePayload(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("name-099"); ok {
+		t.Fatal("aborted insert left a secondary entry")
+	}
+	if _, ok := ix.Lookup("name-042"); !ok {
+		t.Fatal("committed entry lost")
+	}
+}
+
+func TestSecondaryUpdateMovesEntry(t *testing.T) {
+	db, tb, ix := newSecDB(t)
+	ctx := newCtx(82)
+	txn := db.Begin()
+	if err := tb.Insert(ctx, txn, 1, namePayload(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	txn = db.Begin()
+	if err := tb.Update(ctx, txn, 1, namePayload(20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("name-010"); ok {
+		t.Fatal("old derived key still indexed")
+	}
+	if primary, ok := ix.Lookup("name-020"); !ok || primary != 1 {
+		t.Fatalf("new derived key = %d, %v", primary, ok)
+	}
+
+	// Aborted update restores the old entry.
+	txn = db.Begin()
+	if err := tb.Update(ctx, txn, 1, namePayload(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("name-020"); !ok {
+		t.Fatal("aborted update lost the old entry")
+	}
+	if _, ok := ix.Lookup("name-030"); ok {
+		t.Fatal("aborted update left the new entry")
+	}
+}
+
+func TestSecondaryDeleteAtCommit(t *testing.T) {
+	db, tb, ix := newSecDB(t)
+	ctx := newCtx(83)
+	txn := db.Begin()
+	if err := tb.Insert(ctx, txn, 1, namePayload(5)); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit(ctx)
+
+	// Delete: the entry survives until commit, vanishes after; abort keeps.
+	txn = db.Begin()
+	if err := tb.Delete(ctx, txn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("name-005"); !ok {
+		t.Fatal("entry removed before commit")
+	}
+	if err := txn.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("name-005"); !ok {
+		t.Fatal("aborted delete removed the entry")
+	}
+
+	txn = db.Begin()
+	if err := tb.Delete(ctx, txn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Lookup("name-005"); ok {
+		t.Fatal("committed delete left the entry")
+	}
+}
+
+func TestSecondaryRegistrationRules(t *testing.T) {
+	db := newTestDB(t, false)
+	tb, _ := db.CreateTable(1, "t", testTupleSize)
+	if _, err := AddSecondaryIndex(tb, "a", nameOf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AddSecondaryIndex(tb, "a", nameOf); err == nil {
+		t.Fatal("duplicate index name accepted")
+	}
+	ctx := newCtx(84)
+	tb.Load(ctx, 1, func(i uint64, p []byte) uint64 { return i })
+	if _, err := AddSecondaryIndex(tb, "b", nameOf); err == nil {
+		t.Fatal("index added after load accepted")
+	}
+}
+
+func TestSecondaryScanOrder(t *testing.T) {
+	_, tb, ix := newSecDB(t)
+	ctx := newCtx(85)
+	tb.Load(ctx, 20, func(i uint64, p []byte) uint64 {
+		binary.LittleEndian.PutUint64(p, 19-i) // reversed derived order
+		return i
+	})
+	var prev string
+	n := 0
+	ix.Scan("", func(k string, primary uint64) bool {
+		if n > 0 && k <= prev {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != 20 {
+		t.Fatalf("scan visited %d entries", n)
+	}
+}
+
+func TestTableScanVisibility(t *testing.T) {
+	db := newTestDB(t, false)
+	tb, _ := db.CreateTable(2, "scan", testTupleSize)
+	ctx := newCtx(86)
+	tb.Load(ctx, 10, func(i uint64, p []byte) uint64 { p[0] = byte(i); return i })
+
+	// Delete key 3 (committed) and insert key 20 in an uncommitted txn.
+	del := db.Begin()
+	if err := tb.Delete(ctx, del, 3); err != nil {
+		t.Fatal(err)
+	}
+	del.Commit(ctx)
+
+	// A snapshot begun BEFORE the pending insert must see keys 0..9 \ {3}:
+	// the younger in-flight insert is invisible (its before-image is an
+	// empty slot), not a conflict.
+	reader := db.Begin()
+	pendingCtx := core.NewCtx(87)
+	pending := db.Begin()
+	if err := tb.Insert(pendingCtx, pending, 20, payloadFor(20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	err := tb.Scan(ctx, reader, 0, func(key uint64, payload []byte) bool {
+		if payload[0] != byte(key) {
+			t.Fatalf("key %d wrong payload", key)
+		}
+		got = append(got, key)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 2, 4, 5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+	reader.Commit(ctx)
+	pending.Abort(pendingCtx)
+
+	// Early termination.
+	count := 0
+	audit := db.Begin()
+	if err := tb.Scan(ctx, audit, 5, func(uint64, []byte) bool { count++; return count < 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("early-terminated scan visited %d", count)
+	}
+	audit.Commit(ctx)
+}
+
+func TestSecondaryRebuiltByRecovery(t *testing.T) {
+	dataArena := pmem.New(pmem.Options{Size: 16 * (core.PageSize + 64), TrackCrashes: true})
+	logArena := pmem.New(pmem.Options{Size: 1 << 17, TrackCrashes: true})
+	disk := ssd.NewMem(nil)
+	logStore := wal.NewMemLog(nil)
+
+	mkDB := func() (*DB, *Table, *SecondaryIndex[string]) {
+		bm, err := core.New(core.Config{
+			DRAMBytes: 4 * core.PageSize, NVMBytes: dataArena.Size(),
+			Policy: policy.SpitfireLazy, PMem: dataArena, SSD: disk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := wal.New(wal.Options{Buffer: logArena, Store: logStore})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(Options{BM: bm, WAL: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := db.CreateTable(1, "people", testTupleSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := AddSecondaryIndex(tb, "by-name", nameOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db, tb, ix
+	}
+
+	db, tb, _ := mkDB()
+	ctx := newCtx(88)
+	tb.Load(ctx, 4, func(i uint64, p []byte) uint64 {
+		binary.LittleEndian.PutUint64(p, i*100)
+		return i
+	})
+	txn := db.Begin()
+	if err := tb.Insert(ctx, txn, 9, namePayload(777)); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	dataArena.Crash()
+	logArena.Crash()
+
+	bm2, err := core.Recover(core.Config{
+		DRAMBytes: 4 * core.PageSize, NVMBytes: dataArena.Size(),
+		Policy: policy.SpitfireLazy, PMem: dataArena, SSD: disk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery re-declares the schema, and the Prepare hook re-attaches
+	// the secondary index so the rebuild scan repopulates it.
+	rctx := NewRecoveryCtx()
+	var ix3 *SecondaryIndex[string]
+	db3, _, err := Recover(rctx, RecoverOptions{
+		BM:     bm2,
+		WAL:    wal.Options{Buffer: logArena, Store: logStore},
+		Schema: []TableDef{{ID: 1, Name: "people", TupleSize: testTupleSize}},
+		Prepare: func(db *DB) error {
+			var perr error
+			ix3, perr = AddSecondaryIndex(db.Table(1), "by-name", nameOf)
+			return perr
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = db3
+	if ix3.Len() != 5 {
+		t.Fatalf("recovered secondary has %d entries, want 5", ix3.Len())
+	}
+	if primary, ok := ix3.Lookup("name-777"); !ok || primary != 9 {
+		t.Fatalf("committed insert's secondary entry missing after recovery: %d %v", primary, ok)
+	}
+	if primary, ok := ix3.Lookup("name-300"); !ok || primary != 3 {
+		t.Fatalf("loaded row's secondary entry missing: %d %v", primary, ok)
+	}
+}

@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+func TestRunProducesThroughput(t *testing.T) {
+	e, err := NewEnv(EnvConfig{
+		DRAMBytes: 4 * MB,
+		NVMBytes:  16 * MB,
+		Policy:    policy.SpitfireLazy,
+		Workload:  YCSBBA,
+		DBBytes:   8 * MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Warmup(2, 500, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(2, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 || res.Throughput <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.ElapsedSec <= 0 {
+		t.Fatal("virtual time did not advance")
+	}
+	if res.LatencyP50Ns <= 0 || res.LatencyP99Ns < res.LatencyP50Ns {
+		t.Fatalf("latency percentiles implausible: p50=%d p99=%d", res.LatencyP50Ns, res.LatencyP99Ns)
+	}
+	if res.LatencyMeanNs <= 0 {
+		t.Fatal("mean latency missing")
+	}
+	t.Logf("throughput = %.0f ops/s, p50 = %d ns, p99 = %d ns, inclusivity = %.3f, nvmW = %d KB, ssdR = %d KB",
+		res.Throughput, res.LatencyP50Ns, res.LatencyP99Ns, res.Inclusivity, res.NVMBytesWritten/1024, res.SSDBytesRead/1024)
+}
+
+func TestTPCCEnvRuns(t *testing.T) {
+	e, err := NewEnv(EnvConfig{
+		DRAMBytes: 4 * MB,
+		NVMBytes:  16 * MB,
+		Policy:    policy.SpitfireLazy,
+		Workload:  TPCC,
+		DBBytes:   2 * MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(2, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatalf("no TPC-C transactions committed: %+v", res)
+	}
+	t.Logf("tpcc throughput = %.0f txn/s (aborted %d)", res.Throughput, res.Aborted)
+}
+
+// TestLazyBeatsEagerOnUncachedReads reproduces the paper's headline §6.3
+// result in miniature: when the working set exceeds DRAM but fits in NVM,
+// the lazy policy (D = 0.01) outperforms eager migration (D = 1).
+func TestLazyBeatsEagerOnUncachedReads(t *testing.T) {
+	run := func(d float64) float64 {
+		e, err := NewEnv(EnvConfig{
+			DRAMBytes: 2 * MB,
+			NVMBytes:  16 * MB,
+			Policy:    policy.Policy{Dr: d, Dw: d, Nr: 1, Nw: 1},
+			Workload:  YCSBRO,
+			DBBytes:   12 * MB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Warmup(4, 2000, 7); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(4, 3000, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	lazy, eager := run(0.01), run(1)
+	t.Logf("lazy = %.0f ops/s, eager = %.0f ops/s (ratio %.2f)", lazy, eager, lazy/eager)
+	if lazy <= eager {
+		t.Fatalf("lazy (%.0f) did not beat eager (%.0f) on an uncachable read-only workload", lazy, eager)
+	}
+}
+
+func TestMemoryModeEnv(t *testing.T) {
+	e, err := NewEnv(EnvConfig{
+		DRAMBytes:      8 * MB,
+		MemoryModeDRAM: 2 * MB,
+		Policy:         policy.Policy{Dr: 1, Dw: 1},
+		Workload:       YCSBRO,
+		DBBytes:        6 * MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(2, 1500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("memory-mode run committed nothing")
+	}
+	// Memory mode must have generated NVM traffic (cache misses) even
+	// though the BM has no NVM tier.
+	if res.NVMBytesRead == 0 && res.NVMBytesWritten == 0 {
+		t.Log("note: all accesses hit the memory-mode DRAM cache")
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := NewEnv(EnvConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	e, err := NewEnv(EnvConfig{DRAMBytes: 2 * MB, Policy: policy.Policy{Dr: 1, Dw: 1}, Workload: YCSBRO, DBBytes: MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0, 10, 1); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+// TestSingleWorkerDeterminism checks the simulator claim: identical
+// configuration and seed produce bit-identical single-worker results.
+func TestSingleWorkerDeterminism(t *testing.T) {
+	run := func() PointResult {
+		e, err := NewEnv(EnvConfig{
+			DRAMBytes: 2 * MB,
+			NVMBytes:  8 * MB,
+			Policy:    policy.SpitfireLazy,
+			Workload:  YCSBBA,
+			DBBytes:   6 * MB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Warmup(1, 1500, 3); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(1, 2500, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Committed != b.Committed || a.Aborted != b.Aborted {
+		t.Fatalf("op counts diverged: %+v vs %+v", a, b)
+	}
+	if a.ElapsedSec != b.ElapsedSec || a.Throughput != b.Throughput {
+		t.Fatalf("virtual time diverged: %v/%v vs %v/%v",
+			a.ElapsedSec, a.Throughput, b.ElapsedSec, b.Throughput)
+	}
+	if a.NVMBytesWritten != b.NVMBytesWritten || a.SSDBytesRead != b.SSDBytesRead {
+		t.Fatalf("device traffic diverged: %+v vs %+v", a, b)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("buffer stats diverged:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}

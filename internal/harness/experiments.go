@@ -1,0 +1,384 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/spitfire-db/spitfire/internal/device"
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// Table is one reproduced table or figure, as rows of formatted cells.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits the table as CSV (header row first), for plotting the
+// figures outside the terminal.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Opts tunes experiment scale. Quick shrinks database/buffer sizes and
+// operation counts for tests and testing.B benchmarks; the CLI runs full
+// scale by default.
+type Opts struct {
+	Quick bool
+	// Seed offsets workload randomness (default 1).
+	Seed uint64
+}
+
+func (o Opts) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// shrink divides sizes in quick mode, preserving every capacity ratio.
+func (o Opts) shrink() int64 {
+	if o.Quick {
+		return 4
+	}
+	return 1
+}
+
+// sz converts "paper GB" to simulated bytes at the current scale.
+func (o Opts) sz(gb float64) int64 {
+	b := int64(gb * float64(MB))
+	b /= o.shrink()
+	if b < int64(64)*1024 {
+		b = 64 * 1024
+	}
+	return b
+}
+
+// ops scales a per-worker operation count.
+func (o Opts) ops(full int) int {
+	if o.Quick {
+		n := full / 8
+		if n < 200 {
+			n = 200
+		}
+		return n
+	}
+	return full
+}
+
+func kops(v float64) string { return fmt.Sprintf("%.1f", v/1000) }
+
+func mbs(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/float64(MB)) }
+
+// measure warms an environment up and runs one measured interval. The
+// requested warm-up is a floor; it is raised until the buffers can actually
+// fill (see WarmupOps).
+func measure(e *Env, workers, warmup, ops int, seed uint64) (PointResult, error) {
+	if err := e.Warmup(workers, e.WarmupOps(workers, warmup), seed); err != nil {
+		return PointResult{}, err
+	}
+	return e.Run(workers, ops, seed+7)
+}
+
+// ---- Table 1 ---------------------------------------------------------------
+
+// Table1 reports the device characteristics the simulator is calibrated to.
+func Table1(o Opts) (*Table, error) {
+	row := func(p device.Params) []string {
+		return []string{
+			p.Kind.String(),
+			fmt.Sprintf("%d ns", p.ReadLatency),
+			fmt.Sprintf("%d ns", p.WriteLatency),
+			fmt.Sprintf("%.1f GB/s", p.ReadBandwidth),
+			fmt.Sprintf("%.1f GB/s", p.WriteBandwidth),
+			fmt.Sprintf("%d B", p.Granularity),
+			fmt.Sprintf("$%.1f/GB", p.PricePerGB),
+		}
+	}
+	return &Table{
+		ID:     "table1",
+		Title:  "Device characteristics (simulator calibration)",
+		Header: []string{"device", "read lat", "write lat", "read bw", "write bw", "granularity", "price"},
+		Rows: [][]string{
+			row(device.DRAMParams),
+			row(device.NVMParams),
+			row(device.SSDParams),
+		},
+	}, nil
+}
+
+// ---- Figure 5 ---------------------------------------------------------------
+
+// Fig5 compares equi-cost NVM-SSD (app direct) and DRAM-SSD (memory mode)
+// hierarchies while the database grows from cacheable to uncacheable
+// (§6.2). Memory mode: a 140 "GB" buffer pool backed by 96 "GB" of real
+// DRAM caching NVM; app direct: a 340 "GB" NVM buffer.
+func Fig5(o Opts) (*Table, error) {
+	sizes := []float64{5, 20, 40, 80, 140, 200, 260, 305}
+	if o.Quick {
+		sizes = []float64{5, 40, 140, 260}
+	}
+	workers := 16
+	if o.Quick {
+		workers = 4
+	}
+	workloads := []WorkloadKind{YCSBRO, YCSBBA, TPCC}
+
+	t := &Table{
+		ID:     "fig5",
+		Title:  "NVM-SSD (app direct) vs DRAM-SSD (memory mode), throughput (kops/s) by DB size (paper-GB)",
+		Header: []string{"workload", "system"},
+	}
+	for _, s := range sizes {
+		t.Header = append(t.Header, fmt.Sprintf("%g", s))
+	}
+
+	for _, wl := range workloads {
+		nvmRow := []string{wl.String(), "NVM-SSD"}
+		memRow := []string{wl.String(), "DRAM-SSD(mem)"}
+		for _, s := range sizes {
+			db := o.sz(s)
+			// App-direct NVM-SSD: 340 GB NVM buffer.
+			e, err := NewEnv(EnvConfig{
+				NVMBytes: o.sz(340),
+				Policy:   policy.SpitfireEager,
+				Workload: wl,
+				DBBytes:  db,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := measure(e, workers, o.ops(1200), o.ops(2500), o.seed())
+			if err != nil {
+				return nil, err
+			}
+			nvmRow = append(nvmRow, kops(res.Throughput))
+
+			// Memory mode: 140 GB pool, 96 GB hardware DRAM cache.
+			e, err = NewEnv(EnvConfig{
+				DRAMBytes:      o.sz(140),
+				MemoryModeDRAM: o.sz(96),
+				Policy:         policy.Policy{Dr: 1, Dw: 1},
+				Workload:       wl,
+				DBBytes:        db,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err = measure(e, workers, o.ops(1200), o.ops(2500), o.seed())
+			if err != nil {
+				return nil, err
+			}
+			memRow = append(memRow, kops(res.Throughput))
+		}
+		t.Rows = append(t.Rows, nvmRow, memRow)
+	}
+	return t, nil
+}
+
+// ---- Table 2 / Figures 6-8 ---------------------------------------------------
+
+// sweepProbs are the migration probabilities swept in §6.3.
+var sweepProbs = []float64{0, 0.01, 0.1, 1}
+
+// policyPoint builds the policy for a D- or N-lockstep sweep point.
+func policyPoint(sweepD bool, p float64) policy.Policy {
+	if sweepD {
+		return policy.Policy{Dr: p, Dw: p, Nr: 1, Nw: 1}
+	}
+	return policy.Policy{Dr: 1, Dw: 1, Nr: p, Nw: p}
+}
+
+// runSweepPoint measures one §6.3 configuration: 12.5 GB DRAM + 50 GB NVM
+// over a 100 GB database.
+func runSweepPoint(o Opts, wl WorkloadKind, pol policy.Policy, workers int) (PointResult, error) {
+	e, err := NewEnv(EnvConfig{
+		DRAMBytes: o.sz(12.5),
+		NVMBytes:  o.sz(50),
+		Policy:    pol,
+		Workload:  wl,
+		DBBytes:   o.sz(100),
+	})
+	if err != nil {
+		return PointResult{}, err
+	}
+	warm := o.ops(2500)
+	meas := o.ops(5000)
+	if workers == 1 {
+		warm, meas = warm*4, meas*4
+	}
+	return measure(e, workers, warm, meas, o.seed())
+}
+
+var sweepWorkloads = []WorkloadKind{YCSBRO, YCSBBA, YCSBWH, TPCC}
+
+// Table2 reports the inclusivity ratio of the DRAM and NVM buffers across
+// lockstep D and N sweeps (§3.3, Table 2 of the paper).
+func Table2(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Inclusivity ratio of DRAM & NVM buffers",
+		Header: []string{"sweep", "workload", "0", "0.01", "0.1", "1"},
+	}
+	for _, sweepD := range []bool{true, false} {
+		name := "bypass DRAM (D)"
+		if !sweepD {
+			name = "bypass NVM (N)"
+		}
+		for _, wl := range sweepWorkloads {
+			row := []string{name, wl.String()}
+			for _, p := range sweepProbs {
+				res, err := runSweepPoint(o, wl, policyPoint(sweepD, p), 8)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3f", res.Inclusivity))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// figSweep implements Figures 6 and 7: throughput across a lockstep
+// D or N sweep for 1 and 16 workers.
+func figSweep(o Opts, id, title string, sweepD bool) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"workers", "workload", "0", "0.01", "0.1", "1"},
+	}
+	for _, workers := range []int{1, 16} {
+		for _, wl := range sweepWorkloads {
+			row := []string{fmt.Sprintf("%d", workers), wl.String()}
+			for _, p := range sweepProbs {
+				res, err := runSweepPoint(o, wl, policyPoint(sweepD, p), workers)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, kops(res.Throughput))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Fig6 sweeps the DRAM migration probabilities (Dr = Dw) with eager NVM.
+func Fig6(o Opts) (*Table, error) {
+	return figSweep(o, "fig6", "Bypassing DRAM: throughput (kops/s) vs D (N=1)", true)
+}
+
+// Fig7 sweeps the NVM migration probabilities (Nr = Nw) with eager DRAM.
+func Fig7(o Opts) (*Table, error) {
+	return figSweep(o, "fig7", "Bypassing NVM: throughput (kops/s) vs N (D=1)", false)
+}
+
+// Fig8 measures the NVM write volume across the N sweep (§6.3, NVM device
+// lifetime).
+func Fig8(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "NVM write volume (paper-GB, i.e. simulated MB) vs N (D=1)",
+		Header: []string{"workload", "0", "0.01", "0.1", "1"},
+	}
+	for _, wl := range []WorkloadKind{YCSBRO, YCSBBA, YCSBWH} {
+		row := []string{wl.String()}
+		for _, p := range sweepProbs {
+			res, err := runSweepPoint(o, wl, policyPoint(false, p), 8)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, mbs(res.NVMBytesWritten))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9 varies the DRAM:NVM capacity ratio (1:8, 1:4, 1:2) on YCSB-RO and
+// sweeps D, showing that the optimal policy depends on the hierarchy
+// (§6.3, "Impact of Storage Hierarchy").
+func Fig9(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "YCSB-RO throughput (kops/s) vs D across DRAM:NVM ratios (10 GB NVM)",
+		Header: []string{"ratio", "DRAM", "0", "0.01", "0.1", "1"},
+	}
+	for _, cfg := range []struct {
+		ratio string
+		dram  float64
+	}{{"1:8", 1.25}, {"1:4", 2.5}, {"1:2", 5}} {
+		row := []string{cfg.ratio, fmt.Sprintf("%g", cfg.dram)}
+		for _, p := range sweepProbs {
+			e, err := NewEnv(EnvConfig{
+				DRAMBytes: o.sz(cfg.dram),
+				NVMBytes:  o.sz(10),
+				Policy:    policyPoint(true, p),
+				Workload:  YCSBRO,
+				DBBytes:   o.sz(20),
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := measure(e, 8, o.ops(3000), o.ops(6000), o.seed())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, kops(res.Throughput))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,416 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/spitfire-db/spitfire/internal/anneal"
+	"github.com/spitfire-db/spitfire/internal/design"
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// ---- Figure 10 --------------------------------------------------------------
+
+// Fig10 runs the adaptive data-migration experiment (§6.4): starting from
+// the eager policy, the simulated-annealing tuner adjusts ⟨D, N⟩ every
+// epoch using the measured throughput, and should converge near the lazy
+// optimum without manual tuning. Configuration mirrors the paper: 2.5 GB
+// DRAM + 10 GB NVM, α = 0.9, γ = 10, T0 = 800, Tmin = 8e-5.
+func Fig10(o Opts) (*Table, error) {
+	epochs := 100
+	if o.Quick {
+		epochs = 30
+	}
+	workers := 8
+	epochOps := o.ops(1200)
+
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Adaptive data migration: throughput (kops/s) per tuning epoch",
+		Header: []string{"epoch", "YCSB-RO", "YCSB-RO policy", "YCSB-BA", "YCSB-BA policy"},
+	}
+
+	type series struct {
+		tput []float64
+		pols []policy.Policy
+	}
+	var out [2]series
+	for i, wl := range []WorkloadKind{YCSBRO, YCSBBA} {
+		e, err := NewEnv(EnvConfig{
+			DRAMBytes: o.sz(2.5),
+			NVMBytes:  o.sz(10),
+			Policy:    policy.SpitfireEager,
+			Workload:  wl,
+			DBBytes:   o.sz(20),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Warmup(workers, o.ops(2000), o.seed()); err != nil {
+			return nil, err
+		}
+		tn := anneal.New(anneal.Options{
+			Initial:   policy.SpitfireEager,
+			LockstepD: true,
+			LockstepN: true,
+			Seed:      o.seed(),
+		})
+		cand := tn.Propose()
+		for ep := 0; ep < epochs; ep++ {
+			if err := e.SetPolicy(cand); err != nil {
+				return nil, err
+			}
+			res, err := e.Run(workers, epochOps, o.seed()+uint64(ep)*13)
+			if err != nil {
+				return nil, err
+			}
+			out[i].tput = append(out[i].tput, res.Throughput)
+			out[i].pols = append(out[i].pols, cand)
+			cand = tn.Observe(res.Throughput)
+		}
+	}
+	step := epochs / 20
+	if step < 1 {
+		step = 1
+	}
+	for ep := 0; ep < epochs; ep += step {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", ep),
+			kops(out[0].tput[ep]), fmt.Sprintf("D=%g N=%g", out[0].pols[ep].Dr, out[0].pols[ep].Nr),
+			kops(out[1].tput[ep]), fmt.Sprintf("D=%g N=%g", out[1].pols[ep].Dr, out[1].pols[ep].Nr),
+		})
+	}
+	// Summary row: first vs best epoch.
+	best0, best1 := 0.0, 0.0
+	for _, v := range out[0].tput {
+		if v > best0 {
+			best0 = v
+		}
+	}
+	for _, v := range out[1].tput {
+		if v > best1 {
+			best1 = v
+		}
+	}
+	t.Rows = append(t.Rows, []string{"best", kops(best0),
+		fmt.Sprintf("(+%.0f%% over eager)", 100*(best0/out[0].tput[0]-1)),
+		kops(best1),
+		fmt.Sprintf("(+%.0f%% over eager)", 100*(best1/out[1].tput[0]-1)),
+	})
+	return t, nil
+}
+
+// ---- Figure 11 --------------------------------------------------------------
+
+// Fig11 sweeps the loading-unit size for HyMem's cache-line-grained loading
+// on Optane (§6.5): 64 B units suffer I/O amplification against the 256 B
+// media block, so throughput peaks at 256 B.
+func Fig11(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "fig11",
+		Title:  "HyMem throughput (kops/s) and NVM media reads vs loading unit (YCSB-RO)",
+		Header: []string{"unit (B)", "throughput", "NVM read MB"},
+	}
+	for _, unit := range []int{64, 128, 256, 512} {
+		e, err := NewEnv(EnvConfig{
+			DRAMBytes:   o.sz(8),
+			NVMBytes:    o.sz(32),
+			Policy:      policy.Hymem,
+			FineGrained: true,
+			LoadingUnit: unit,
+			Workload:    YCSBRO,
+			DBBytes:     o.sz(20),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := measure(e, 8, o.ops(3000), o.ops(6000), o.seed())
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", unit), kops(res.Throughput), mbs(res.NVMBytesRead),
+		})
+	}
+	return t, nil
+}
+
+// ---- Figure 12 --------------------------------------------------------------
+
+// Fig12 is the ablation study of §6.5: HyMem's two auxiliary optimizations
+// (fine-grained loading, then mini pages) are added incrementally under the
+// three migration policies of Table 3, on YCSB-RO and TPC-C.
+func Fig12(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Ablation (kops/s): +fine-grained loading, +mini pages across migration policies",
+		Header: []string{"workload", "policy", "none", "+fine-grained", "+mini page"},
+	}
+	pols := []struct {
+		name string
+		p    policy.Policy
+	}{
+		{"Hymem", policy.Hymem},
+		{"Spf-Eager", policy.SpitfireEager},
+		{"Spf-Lazy", policy.SpitfireLazy},
+	}
+	for _, wl := range []WorkloadKind{YCSBRO, TPCC} {
+		for _, pc := range pols {
+			row := []string{wl.String(), pc.name}
+			for _, step := range []struct {
+				fg, mini bool
+			}{{false, false}, {true, false}, {true, true}} {
+				e, err := NewEnv(EnvConfig{
+					DRAMBytes:   o.sz(8),
+					NVMBytes:    o.sz(32),
+					Policy:      pc.p,
+					FineGrained: step.fg,
+					LoadingUnit: 256,
+					MiniPages:   step.mini,
+					Workload:    wl,
+					DBBytes:     o.sz(20),
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := measure(e, 8, o.ops(2500), o.ops(5000), o.seed())
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, kops(res.Throughput))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// ---- Figure 13 --------------------------------------------------------------
+
+// Fig13 compares the NVM write volume of HyMem's queue-gated policy against
+// Spitfire-Lazy (§6.5): the lazy policy trades more NVM writes for runtime
+// performance. Fine-grained loading is enabled for both, as in the paper.
+func Fig13(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "NVM write volume (paper-GB = simulated MB): HyMem vs Spitfire-Lazy",
+		Header: []string{"workload", "Hymem", "Spf-Lazy", "ratio"},
+	}
+	for _, wl := range []WorkloadKind{YCSBRO, YCSBBA, YCSBWH} {
+		row := []string{wl.String()}
+		var vols [2]int64
+		for i, p := range []policy.Policy{policy.Hymem, policy.SpitfireLazy} {
+			e, err := NewEnv(EnvConfig{
+				DRAMBytes:   o.sz(8),
+				NVMBytes:    o.sz(32),
+				Policy:      p,
+				FineGrained: true,
+				LoadingUnit: 256,
+				Workload:    wl,
+				DBBytes:     o.sz(20),
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Write volume is measured from cold start: the buffer
+			// population phase is part of each policy's NVM wear.
+			res, err := e.Run(8, o.ops(7500), o.seed())
+			if err != nil {
+				return nil, err
+			}
+			vols[i] = res.NVMBytesWritten
+			row = append(row, mbs(res.NVMBytesWritten))
+		}
+		ratio := 0.0
+		if vols[0] > 0 {
+			ratio = float64(vols[1]) / float64(vols[0])
+		}
+		row = append(row, fmt.Sprintf("%.2fx", ratio))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ---- Figure 14 --------------------------------------------------------------
+
+// Fig14 is the storage-system design grid search of §6.6: DRAM
+// {0,4,8,16,32} × NVM {0,40,80,160} over a 200 GB SSD, 100 GB database,
+// skew 0.5, eight workers, Spitfire-Lazy on three-tier candidates. Cells
+// report throughput/cost (ops/s/$).
+func Fig14(o Opts) ([]*Table, error) {
+	dramSizes := []float64{0, 4, 8, 16, 32}
+	nvmSizes := []float64{0, 40, 80, 160}
+
+	costT := &Table{
+		ID:     "fig14a",
+		Title:  "Storage system cost ($, Table 1 prices, 200 GB SSD)",
+		Header: []string{"DRAM\\NVM"},
+	}
+	for _, n := range nvmSizes {
+		costT.Header = append(costT.Header, fmt.Sprintf("%g", n))
+	}
+	for _, d := range dramSizes {
+		row := []string{fmt.Sprintf("%g", d)}
+		for _, n := range nvmSizes {
+			row = append(row, fmt.Sprintf("%.0f", design.Cost(design.Hierarchy{DRAMGB: d, NVMGB: n, SSDGB: 200})))
+		}
+		costT.Rows = append(costT.Rows, row)
+	}
+	tables := []*Table{costT}
+
+	for _, wl := range []WorkloadKind{YCSBRO, YCSBBA, YCSBWH} {
+		t := &Table{
+			ID:     "fig14-" + wl.String(),
+			Title:  fmt.Sprintf("Throughput/cost (ops/s/$) heat map, %s", wl),
+			Header: append([]string{"DRAM\\NVM"}, costT.Header[1:]...),
+		}
+		var best design.Result
+		for _, d := range dramSizes {
+			row := []string{fmt.Sprintf("%g", d)}
+			for _, n := range nvmSizes {
+				if d == 0 && n == 0 {
+					row = append(row, "-")
+					continue
+				}
+				e, err := NewEnv(EnvConfig{
+					DRAMBytes: o.sz(d),
+					NVMBytes:  o.sz(n),
+					Policy:    policy.SpitfireLazy,
+					Workload:  wl,
+					DBBytes:   o.sz(100),
+					Theta:     0.5,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := measure(e, 8, o.ops(2000), o.ops(4000), o.seed())
+				if err != nil {
+					return nil, err
+				}
+				h := design.Hierarchy{DRAMGB: d, NVMGB: n, SSDGB: 200}
+				pp := res.Throughput / design.Cost(h)
+				if pp > best.PerfPrice {
+					best = design.Result{Hierarchy: h, Throughput: res.Throughput,
+						Cost: design.Cost(h), PerfPrice: pp}
+				}
+				row = append(row, fmt.Sprintf("%.0f", pp))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Rows = append(t.Rows, []string{"best", best.Hierarchy.String(),
+			fmt.Sprintf("%.0f ops/s/$", best.PerfPrice), "", ""})
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// ---- Figure 15 --------------------------------------------------------------
+
+// Fig15 sweeps the database size from cacheable to far-beyond-buffer for
+// five equi-cost configurations (§6.7): three-tier (20+60 GB buffers) under
+// HyMem / Spitfire-Eager / Spitfire-Lazy, a 46 GB DRAM-SSD hierarchy, and a
+// 104 GB NVM-SSD hierarchy.
+func Fig15(o Opts) (*Table, error) {
+	sizes := []float64{5, 35, 70, 105, 140}
+	if o.Quick {
+		sizes = []float64{5, 70, 140}
+	}
+	configs := []struct {
+		name string
+		cfg  func(wl WorkloadKind, db int64) EnvConfig
+	}{
+		{"Hymem", func(wl WorkloadKind, db int64) EnvConfig {
+			return EnvConfig{DRAMBytes: o.sz(20), NVMBytes: o.sz(60), Policy: policy.Hymem,
+				FineGrained: true, LoadingUnit: 256, MiniPages: true, Workload: wl, DBBytes: db}
+		}},
+		{"Spf-Eager", func(wl WorkloadKind, db int64) EnvConfig {
+			return EnvConfig{DRAMBytes: o.sz(20), NVMBytes: o.sz(60), Policy: policy.SpitfireEager,
+				FineGrained: true, LoadingUnit: 256, MiniPages: true, Workload: wl, DBBytes: db}
+		}},
+		{"Spf-Lazy", func(wl WorkloadKind, db int64) EnvConfig {
+			return EnvConfig{DRAMBytes: o.sz(20), NVMBytes: o.sz(60), Policy: policy.SpitfireLazy,
+				FineGrained: true, LoadingUnit: 256, MiniPages: true, Workload: wl, DBBytes: db}
+		}},
+		{"DRAM-SSD", func(wl WorkloadKind, db int64) EnvConfig {
+			return EnvConfig{DRAMBytes: o.sz(46), Policy: policy.Policy{Dr: 1, Dw: 1}, Workload: wl, DBBytes: db}
+		}},
+		{"NVM-SSD", func(wl WorkloadKind, db int64) EnvConfig {
+			return EnvConfig{NVMBytes: o.sz(104), Policy: policy.SpitfireEager, Workload: wl, DBBytes: db}
+		}},
+	}
+
+	t := &Table{
+		ID:     "fig15",
+		Title:  "Throughput (kops/s) vs database size (paper-GB) for five equi-cost configurations",
+		Header: []string{"workload", "config"},
+	}
+	for _, s := range sizes {
+		t.Header = append(t.Header, fmt.Sprintf("%g", s))
+	}
+	for _, wl := range []WorkloadKind{YCSBRO, YCSBBA, YCSBWH, TPCC} {
+		for _, c := range configs {
+			row := []string{wl.String(), c.name}
+			for _, s := range sizes {
+				e, err := NewEnv(c.cfg(wl, o.sz(s)))
+				if err != nil {
+					return nil, err
+				}
+				res, err := measure(e, 8, o.ops(2000), o.ops(4000), o.seed())
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, kops(res.Throughput))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// ---- registry ---------------------------------------------------------------
+
+// Experiment is a named, runnable reproduction of one table or figure.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         func(Opts) ([]*Table, error)
+}
+
+func single(f func(Opts) (*Table, error)) func(Opts) ([]*Table, error) {
+	return func(o Opts) ([]*Table, error) {
+		t, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+}
+
+// Experiments lists every reproduced table and figure in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Device characteristics (calibration constants)", single(Table1)},
+		{"fig5", "Equi-cost NVM-SSD vs memory-mode DRAM-SSD across DB sizes (§6.2)", single(Fig5)},
+		{"table2", "Inclusivity ratio across D and N sweeps (§3.3)", single(Table2)},
+		{"fig6", "Throughput vs DRAM migration probability D (§6.3)", single(Fig6)},
+		{"fig7", "Throughput vs NVM migration probability N (§6.3)", single(Fig7)},
+		{"fig8", "NVM write volume vs N (§6.3)", single(Fig8)},
+		{"fig9", "Optimal D vs DRAM:NVM capacity ratio (§6.3)", single(Fig9)},
+		{"fig10", "Adaptive data migration via simulated annealing (§6.4)", single(Fig10)},
+		{"fig11", "Loading-unit granularity on Optane (§6.5)", single(Fig11)},
+		{"fig12", "Ablation of HyMem's optimizations (§6.5)", single(Fig12)},
+		{"fig13", "NVM device lifetime: HyMem vs Spitfire-Lazy (§6.5)", single(Fig13)},
+		{"fig14", "Storage-system design grid search (§6.6)", Fig14},
+		{"fig15", "Database-size sweep over five configurations (§6.7)", single(Fig15)},
+		{"extra-wear", "Wear-aware adaptive tuning, λ sweep (extension beyond the paper)", single(ExtraWear)},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

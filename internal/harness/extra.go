@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/spitfire-db/spitfire/internal/anneal"
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// ExtraWear is an extension beyond the paper: §6.3 closes by noting that
+// "the optimal policy must be chosen depending on the performance
+// requirements and write endurance characteristics of NVM", but leaves the
+// choice manual. This experiment automates it: the simulated-annealing
+// tuner runs with the wear-aware cost function cost = γ/T + λ·W/T and the
+// endurance weight λ is swept. Higher λ should push the converged policy
+// toward fewer NVM writes at some throughput cost — an automated version of
+// the Figure 8 trade-off.
+func ExtraWear(o Opts) (*Table, error) {
+	epochs := 60
+	if o.Quick {
+		epochs = 25
+	}
+	workers := 8
+	epochOps := o.ops(1200)
+
+	t := &Table{
+		ID:     "extra-wear",
+		Title:  "Wear-aware adaptive tuning (beyond the paper): λ sweep on YCSB-BA",
+		Header: []string{"lambda", "policy found", "kops/s", "NVM MB/s written"},
+	}
+	for _, lambda := range []float64{0, 5e-8, 1e-6} {
+		e, err := NewEnv(EnvConfig{
+			DRAMBytes: o.sz(2.5),
+			NVMBytes:  o.sz(10),
+			Policy:    policy.SpitfireEager,
+			Workload:  YCSBBA,
+			DBBytes:   o.sz(20),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Warmup(workers, e.WarmupOps(workers, o.ops(1500)), o.seed()); err != nil {
+			return nil, err
+		}
+		tn := anneal.New(anneal.Options{
+			Initial:   policy.SpitfireEager,
+			LockstepD: true,
+			LockstepN: true,
+			Seed:      o.seed(),
+		})
+		cost := anneal.WearAwareCost{Lambda: lambda}
+		cand := tn.Propose()
+
+		// Track the wear profile of the best-cost epoch.
+		bestCost := -1.0
+		var bestTput, bestWearMBs float64
+		var bestPol policy.Policy
+		for ep := 0; ep < epochs; ep++ {
+			if err := e.SetPolicy(cand); err != nil {
+				return nil, err
+			}
+			res, err := e.Run(workers, epochOps, o.seed()+uint64(ep)*17)
+			if err != nil {
+				return nil, err
+			}
+			wearRate := 0.0
+			if res.ElapsedSec > 0 {
+				wearRate = float64(res.NVMBytesWritten) / res.ElapsedSec
+			}
+			c := cost.Cost(res.Throughput, wearRate)
+			if bestCost < 0 || c < bestCost {
+				bestCost = c
+				bestTput = res.Throughput
+				bestWearMBs = wearRate / float64(MB)
+				bestPol = cand
+			}
+			cand = tn.ObserveWear(cost, res.Throughput, wearRate)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", lambda),
+			fmt.Sprintf("D=%g N=%g", bestPol.Dr, bestPol.Nr),
+			kops(bestTput),
+			fmt.Sprintf("%.1f", bestWearMBs),
+		})
+	}
+	return t, nil
+}

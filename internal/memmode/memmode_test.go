@@ -1,0 +1,88 @@
+package memmode
+
+import (
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/vclock"
+)
+
+func TestHitIsCheaperThanMiss(t *testing.T) {
+	d := New(Options{DRAMBytes: 64 * 1024, LineSize: 4096})
+	c := vclock.New()
+
+	d.Read(c, 0, 4096) // cold miss
+	missCost := c.Now()
+
+	start := c.Now()
+	d.Read(c, 0, 4096) // hit
+	hitCost := c.Now() - start
+
+	if hitCost >= missCost {
+		t.Fatalf("hit cost %d >= miss cost %d", hitCost, missCost)
+	}
+	st := d.NVMDevice().Stats()
+	if st.ReadOps != 1 {
+		t.Fatalf("NVM read ops = %d, want 1 (only the cold miss)", st.ReadOps)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	// One-set cache: every distinct line conflicts.
+	d := New(Options{DRAMBytes: 4096, LineSize: 4096})
+	c := vclock.New()
+
+	d.Write(c, 0, 4096)   // write-allocate: fill from NVM, mark dirty
+	d.Read(c, 4096, 4096) // line 1 displaces line 0 -> writeback + fill
+	st := d.NVMDevice().Stats()
+	if st.WriteOps != 1 {
+		t.Fatalf("NVM write ops = %d, want 1 writeback", st.WriteOps)
+	}
+	if st.ReadOps != 2 {
+		t.Fatalf("NVM read ops = %d, want 2 fills (write miss + read miss)", st.ReadOps)
+	}
+}
+
+func TestCleanEvictionSkipsWriteback(t *testing.T) {
+	d := New(Options{DRAMBytes: 4096, LineSize: 4096})
+	c := vclock.New()
+	d.Read(c, 0, 4096)
+	d.Read(c, 4096, 4096) // displaces a clean line
+	if st := d.NVMDevice().Stats(); st.WriteOps != 0 {
+		t.Fatalf("clean eviction wrote back: %d write ops", st.WriteOps)
+	}
+}
+
+func TestCapacityCliff(t *testing.T) {
+	// A working set that fits in the DRAM cache should be served almost
+	// entirely from DRAM after warmup; one that exceeds it should keep
+	// missing to NVM. This is the mechanism behind Figure 5.
+	run := func(dramBytes int64, workingSet int64) (nvmReads int64) {
+		d := New(Options{DRAMBytes: dramBytes, LineSize: 4096})
+		c := vclock.New()
+		// Two sequential sweeps; the second measures steady state.
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				d.NVMDevice().ResetStats()
+			}
+			for off := int64(0); off < workingSet; off += 4096 {
+				d.Read(c, off, 4096)
+			}
+		}
+		return d.NVMDevice().Stats().ReadOps
+	}
+	if r := run(1<<20, 1<<19); r != 0 {
+		t.Fatalf("cacheable working set still missed %d times", r)
+	}
+	if r := run(1<<19, 1<<21); r == 0 {
+		t.Fatal("oversized working set produced no NVM traffic")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	d := New(Options{DRAMBytes: 0})
+	c := vclock.New()
+	d.Read(c, 0, 64) // must not panic with a single-set cache
+	if d.HitRatio() <= 0 {
+		t.Fatal("hit ratio not tracking occupancy")
+	}
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: %s", h)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 22 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	// p100 is clamped to the true max.
+	if h.Percentile(100) != 100 {
+		t.Fatalf("p100 = %d", h.Percentile(100))
+	}
+	// The median of {1,2,3,4,100} is 3; the bucket bound for 3 is 3.
+	if p := h.Percentile(50); p < 3 || p > 3 {
+		t.Fatalf("p50 = %d, want 3 (bucket top)", p)
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	// Bucketed upper bounds: the true p must not exceed the reported one,
+	// and the reported one is at most 2x the true value (power-of-two
+	// buckets).
+	for _, tc := range []struct {
+		p    float64
+		true int64
+	}{{50, 500}, {90, 900}, {99, 990}} {
+		got := h.Percentile(tc.p)
+		if got < tc.true {
+			t.Fatalf("p%.0f = %d below true %d", tc.p, got, tc.true)
+		}
+		if got > 2*tc.true {
+			t.Fatalf("p%.0f = %d more than 2x true %d", tc.p, got, tc.true)
+		}
+	}
+	// Out-of-range p clamps.
+	if h.Percentile(-5) == 0 || h.Percentile(200) != h.Max() {
+		t.Fatal("percentile clamping broken")
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-7)
+	h.Observe(0)
+	if h.Count() != 2 || h.Max() != 0 {
+		t.Fatalf("negative handling: %s", h)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				h.Observe(int64(w*1000 + i%997))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 80_000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() < 7000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}

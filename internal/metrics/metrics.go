@@ -1,0 +1,88 @@
+// Package metrics provides the low-overhead counters the buffer manager and
+// the experiment harness use to report the statistics the paper measures:
+// per-tier hits, migrations along each data-flow path of Figure 3, eviction
+// and write-back counts, and NVM write volume.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is an atomic monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store sets the value (used by Reset).
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// Set is a named collection of counters with stable ordering, used for
+// human-readable experiment reports.
+type Set struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewSet creates an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]*Counter)} }
+
+// Counter returns (creating if needed) the counter with the given name.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// Snapshot returns a copy of all counter values.
+func (s *Set) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	out := make(map[string]int64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Load()
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Reset zeroes every counter.
+func (s *Set) Reset() {
+	s.mu.Lock()
+	for _, c := range s.counters {
+		c.Store(0)
+	}
+	s.mu.Unlock()
+}
+
+// String renders the set sorted by name.
+func (s *Set) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", n, snap[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("Load = %d, want 5", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("Load = %d, want 8000", c.Load())
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Add(2)
+	s.Counter("b").Inc()
+	if s.Counter("a") != s.Counter("a") {
+		t.Fatal("Counter not idempotent per name")
+	}
+	snap := s.Snapshot()
+	if snap["a"] != 2 || snap["b"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if got := s.String(); got != "a=2 b=1" {
+		t.Fatalf("String() = %q", got)
+	}
+	s.Reset()
+	if s.Counter("a").Load() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}

@@ -1,0 +1,156 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/spitfire-db/spitfire/internal/vclock"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	p := New(Options{Size: 4096})
+	c := vclock.New()
+	data := []byte("hello, persistent world")
+	p.Write(c, 100, data)
+	got := make([]byte, len(data))
+	p.Read(c, 100, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: got %q, want %q", got, data)
+	}
+}
+
+func TestCrashRevertsUnpersistedWrites(t *testing.T) {
+	p := New(Options{Size: 4096, TrackCrashes: true})
+	c := vclock.New()
+
+	p.Write(c, 0, []byte("durable"))
+	p.Persist(c, 0, 7)
+	p.Write(c, 0, []byte("ephemer"))
+	if p.UnpersistedLines() == 0 {
+		t.Fatal("expected unpersisted lines after write")
+	}
+
+	p.Crash()
+
+	got := make([]byte, 7)
+	p.Read(c, 0, got)
+	if string(got) != "durable" {
+		t.Fatalf("after crash: %q, want %q", got, "durable")
+	}
+	if p.UnpersistedLines() != 0 {
+		t.Fatal("crash left unpersisted lines")
+	}
+}
+
+func TestPersistMakesWritesDurable(t *testing.T) {
+	p := New(Options{Size: 4096, TrackCrashes: true})
+	c := vclock.New()
+	p.Write(c, 256, []byte("committed"))
+	p.Persist(c, 256, 9)
+	p.Crash()
+	got := make([]byte, 9)
+	p.Read(c, 256, got)
+	if string(got) != "committed" {
+		t.Fatalf("persisted data lost in crash: %q", got)
+	}
+}
+
+func TestPartialPersist(t *testing.T) {
+	// Two writes to different cache lines; only one persisted.
+	p := New(Options{Size: 4096, TrackCrashes: true})
+	c := vclock.New()
+	p.Write(c, 0, []byte("AAAA"))
+	p.Write(c, 128, []byte("BBBB"))
+	p.Persist(c, 0, 4)
+	p.Crash()
+	a, b := make([]byte, 4), make([]byte, 4)
+	p.Read(c, 0, a)
+	p.Read(c, 128, b)
+	if string(a) != "AAAA" {
+		t.Fatalf("persisted line lost: %q", a)
+	}
+	if string(b) != "\x00\x00\x00\x00" {
+		t.Fatalf("unpersisted line survived crash: %q", b)
+	}
+}
+
+func TestCrashWithoutTrackingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Crash on untracked arena did not panic")
+		}
+	}()
+	New(Options{Size: 64}).Crash()
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	p := New(Options{Size: 64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds write did not panic")
+		}
+	}()
+	p.Write(vclock.New(), 60, []byte("overflow"))
+}
+
+func TestBytesAlias(t *testing.T) {
+	p := New(Options{Size: 1024})
+	c := vclock.New()
+	p.Write(c, 512, []byte{1, 2, 3})
+	b := p.Bytes(512, 3)
+	if b[0] != 1 || b[1] != 2 || b[2] != 3 {
+		t.Fatalf("Bytes view = %v", b)
+	}
+	if len(b) != 3 || cap(b) != 3 {
+		t.Fatalf("Bytes view not capacity-clamped: len=%d cap=%d", len(b), cap(b))
+	}
+}
+
+func TestChargesDevice(t *testing.T) {
+	p := New(Options{Size: 4096})
+	c := vclock.New()
+	p.Write(c, 0, make([]byte, 256))
+	if c.Now() == 0 {
+		t.Fatal("write did not advance virtual time")
+	}
+	st := p.Device().Stats()
+	if st.BytesWritten != 256 {
+		t.Fatalf("device recorded %d bytes written, want 256", st.BytesWritten)
+	}
+}
+
+// Property: for any sequence of (write, maybe-persist) operations followed
+// by a crash, every byte equals the last persisted write covering it (or
+// zero). We model with a shadow array updated only at persist points.
+func TestQuickCrashConsistency(t *testing.T) {
+	const size = 2048
+	f := func(ops []struct {
+		Off     uint16
+		Val     byte
+		Persist bool
+	}) bool {
+		p := New(Options{Size: size, TrackCrashes: true})
+		c := vclock.New()
+		model := make([]byte, size)   // persisted state
+		current := make([]byte, size) // in-cache state
+		for _, op := range ops {
+			off := int64(op.Off) % size
+			p.Write(c, off, []byte{op.Val})
+			current[off] = op.Val
+			if op.Persist {
+				p.Persist(c, off, 1)
+				// Persisting one byte persists its whole cache line.
+				line := off / CacheLineSize * CacheLineSize
+				copy(model[line:line+CacheLineSize], current[line:line+CacheLineSize])
+			}
+		}
+		p.Crash()
+		got := make([]byte, size)
+		p.Read(c, 0, got)
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

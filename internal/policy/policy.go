@@ -1,0 +1,101 @@
+// Package policy defines the paper's data-migration policy taxonomy (§3.5):
+// a policy is the probability tuple ⟨Dr, Dw, Nr, Nw⟩ governing where pages
+// move in the DRAM–NVM–SSD hierarchy.
+//
+//   - Dr: probability of migrating a page from NVM to DRAM while serving a
+//     read (§3.1). Dr = 1 is the eager policy; small Dr is lazy and keeps
+//     warm pages on NVM where the CPU can operate on them directly.
+//   - Dw: probability of routing a write through DRAM rather than writing
+//     directly to NVM (§3.2). Dw = 1 matches a canonical DRAM-SSD system.
+//   - Nr: probability of installing a page fetched from SSD into the NVM
+//     buffer; with probability 1-Nr the page goes straight to DRAM,
+//     bypassing NVM (§3.3).
+//   - Nw: probability of admitting a dirty page evicted from DRAM into the
+//     NVM buffer; with probability 1-Nw it is written straight to SSD
+//     (§3.4). HyMem replaces this Bernoulli trial with its admission queue.
+//
+// Table 3 of the paper defines three named policies, reproduced here as
+// Hymem, SpitfireEager and SpitfireLazy.
+package policy
+
+import "fmt"
+
+// NwMode selects how NVM admission on the DRAM-eviction path is decided.
+type NwMode int
+
+const (
+	// NwProbabilistic admits with probability Nw (Spitfire's approach).
+	NwProbabilistic NwMode = iota
+	// NwAdmissionQueue admits using HyMem's admission queue; the Nw
+	// probability is ignored.
+	NwAdmissionQueue
+)
+
+// Policy is the migration-policy tuple ⟨Dr, Dw, Nr, Nw⟩.
+type Policy struct {
+	Dr, Dw, Nr, Nw float64
+	NwMode         NwMode
+}
+
+// Table 3: migration policies used in the paper's ablation study.
+var (
+	// Hymem eagerly migrates to DRAM and gates NVM admission with the
+	// admission queue (Nr = 0: SSD fetches bypass NVM).
+	Hymem = Policy{Dr: 1, Dw: 1, Nr: 0, Nw: 1, NwMode: NwAdmissionQueue}
+	// SpitfireEager uses the default (eager) paths everywhere.
+	SpitfireEager = Policy{Dr: 1, Dw: 1, Nr: 1, Nw: 1}
+	// SpitfireLazy is the paper's recommended lazy configuration:
+	// Dr = Dw = 0.01, Nr = 0.2, Nw = 1 (§3.3, Table 3).
+	SpitfireLazy = Policy{Dr: 0.01, Dw: 0.01, Nr: 0.2, Nw: 1}
+)
+
+// Uniform returns a policy with every probability set to p (used by the
+// lockstep sweeps in Figures 6 and 7).
+func Uniform(p float64) Policy { return Policy{Dr: p, Dw: p, Nr: p, Nw: p} }
+
+// WithD returns a copy of p with Dr and Dw set to d in lockstep (Figure 6).
+func (p Policy) WithD(d float64) Policy { p.Dr, p.Dw = d, d; return p }
+
+// WithN returns a copy of p with Nr and Nw set to n in lockstep (Figure 7).
+func (p Policy) WithN(n float64) Policy { p.Nr, p.Nw = n, n; return p }
+
+// Validate reports an error if any probability lies outside [0, 1].
+func (p Policy) Validate() error {
+	for _, v := range [...]struct {
+		name string
+		val  float64
+	}{{"Dr", p.Dr}, {"Dw", p.Dw}, {"Nr", p.Nr}, {"Nw", p.Nw}} {
+		if v.val < 0 || v.val > 1 {
+			return fmt.Errorf("policy: %s = %v outside [0, 1]", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// String renders the tuple in the paper's notation.
+func (p Policy) String() string {
+	nw := fmt.Sprintf("%g", p.Nw)
+	if p.NwMode == NwAdmissionQueue {
+		nw = "AdmQueue"
+	}
+	return fmt.Sprintf("⟨Dr=%g, Dw=%g, Nr=%g, Nw=%s⟩", p.Dr, p.Dw, p.Nr, nw)
+}
+
+// Ladder is the discrete set of probabilities the adaptive tuner explores.
+// It matches the values the paper sweeps in its policy experiments.
+var Ladder = []float64{0, 0.01, 0.05, 0.1, 0.2, 0.5, 1}
+
+// LadderIndex returns the index of the ladder rung closest to v.
+func LadderIndex(v float64) int {
+	best, bestDist := 0, -1.0
+	for i, r := range Ladder {
+		d := v - r
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,77 @@
+package policy
+
+import "testing"
+
+func TestTable3Presets(t *testing.T) {
+	// Table 3 of the paper.
+	if Hymem.Dr != 1 || Hymem.Dw != 1 || Hymem.Nr != 0 || Hymem.NwMode != NwAdmissionQueue {
+		t.Fatalf("Hymem preset diverges from Table 3: %v", Hymem)
+	}
+	if SpitfireEager != (Policy{Dr: 1, Dw: 1, Nr: 1, Nw: 1}) {
+		t.Fatalf("SpitfireEager preset diverges from Table 3: %v", SpitfireEager)
+	}
+	if SpitfireLazy.Dr != 0.01 || SpitfireLazy.Dw != 0.01 || SpitfireLazy.Nr != 0.2 || SpitfireLazy.Nw != 1 {
+		t.Fatalf("SpitfireLazy preset diverges from Table 3: %v", SpitfireLazy)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := SpitfireLazy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Policy{Dr: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Dr = 1.5 validated")
+	}
+	bad = Policy{Nw: -0.1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Nw = -0.1 validated")
+	}
+}
+
+func TestLockstepHelpers(t *testing.T) {
+	p := SpitfireEager.WithD(0.1)
+	if p.Dr != 0.1 || p.Dw != 0.1 || p.Nr != 1 || p.Nw != 1 {
+		t.Fatalf("WithD: %v", p)
+	}
+	p = SpitfireEager.WithN(0.01)
+	if p.Nr != 0.01 || p.Nw != 0.01 || p.Dr != 1 {
+		t.Fatalf("WithN: %v", p)
+	}
+	u := Uniform(0.5)
+	if u.Dr != 0.5 || u.Dw != 0.5 || u.Nr != 0.5 || u.Nw != 0.5 {
+		t.Fatalf("Uniform: %v", u)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Hymem.String(); s != "⟨Dr=1, Dw=1, Nr=0, Nw=AdmQueue⟩" {
+		t.Fatalf("Hymem.String() = %q", s)
+	}
+	if s := SpitfireLazy.String(); s != "⟨Dr=0.01, Dw=0.01, Nr=0.2, Nw=1⟩" {
+		t.Fatalf("SpitfireLazy.String() = %q", s)
+	}
+}
+
+func TestLadder(t *testing.T) {
+	// The ladder must be sorted and span [0, 1].
+	for i := 1; i < len(Ladder); i++ {
+		if Ladder[i] <= Ladder[i-1] {
+			t.Fatalf("ladder not strictly increasing at %d", i)
+		}
+	}
+	if Ladder[0] != 0 || Ladder[len(Ladder)-1] != 1 {
+		t.Fatal("ladder does not span [0, 1]")
+	}
+	for i, v := range Ladder {
+		if LadderIndex(v) != i {
+			t.Fatalf("LadderIndex(%v) = %d, want %d", v, LadderIndex(v), i)
+		}
+	}
+	if LadderIndex(0.009) != 1 { // closest to 0.01
+		t.Fatalf("LadderIndex(0.009) = %d", LadderIndex(0.009))
+	}
+	if LadderIndex(0.9) != len(Ladder)-1 {
+		t.Fatalf("LadderIndex(0.9) = %d", LadderIndex(0.9))
+	}
+}

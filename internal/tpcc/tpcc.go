@@ -1,0 +1,243 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/engine"
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+// Workload is a loaded TPC-C database.
+type Workload struct {
+	DB         *engine.DB
+	Scale      ScaleConfig
+	Warehouses int
+
+	warehouse, district, customer, history  *engine.Table
+	newOrder, order, orderLine, item, stock *engine.Table
+
+	// Secondary indexes, maintained transactionally by the engine and
+	// rebuilt by recovery's page scan.
+	custByName  *engine.SecondaryIndex[string]
+	orderByCust *engine.SecondaryIndex[uint64]
+
+	nextHID atomic.Uint64
+}
+
+// custKeyParts unpacks a customer primary key.
+func custKeyParts(ck uint64) (wh, d, c int) {
+	return int(ck >> 28), int((ck >> 20) & 0xFF), int(ck & 0xFFFFF)
+}
+
+// orderKeyParts unpacks an order primary key.
+func orderKeyParts(ok uint64) (wh, d, o int) {
+	return int(ok >> 32), int((ok >> 24) & 0xFF), int(ok & 0xFFFFFF)
+}
+
+// Setup creates the nine tables and bulk-loads warehouses of data.
+func Setup(db *engine.DB, warehouses int, scale ScaleConfig) (*Workload, error) {
+	if warehouses < 1 {
+		return nil, errors.New("tpcc: need at least one warehouse")
+	}
+	if scale.Districts == 0 {
+		scale = DefaultScale
+	}
+	w := &Workload{DB: db, Scale: scale, Warehouses: warehouses}
+	var err error
+	mk := func(id uint32, name string, size int) *engine.Table {
+		if err != nil {
+			return nil
+		}
+		var tb *engine.Table
+		tb, err = db.CreateTable(id, name, size)
+		return tb
+	}
+	w.warehouse = mk(TabWarehouse, "warehouse", WarehouseSize)
+	w.district = mk(TabDistrict, "district", DistrictSize)
+	w.customer = mk(TabCustomer, "customer", CustomerSize)
+	w.history = mk(TabHistory, "history", HistorySize)
+	w.newOrder = mk(TabNewOrder, "new_order", NewOrderSize)
+	w.order = mk(TabOrder, "orders", OrderSize)
+	w.orderLine = mk(TabOrderLine, "order_line", OrderLineSize)
+	w.item = mk(TabItem, "item", ItemSize)
+	w.stock = mk(TabStock, "stock", StockSize)
+	if err != nil {
+		return nil, err
+	}
+	w.custByName, err = engine.AddSecondaryIndex(w.customer, "cust-by-name",
+		func(primary uint64, payload []byte) string {
+			var c Customer
+			c.decode(payload)
+			wh, d, cid := custKeyParts(primary)
+			return custNameKey(wh, d, c.Last, c.First, cid)
+		})
+	if err != nil {
+		return nil, err
+	}
+	w.orderByCust, err = engine.AddSecondaryIndex(w.order, "order-by-cust",
+		func(primary uint64, payload []byte) uint64 {
+			var o Order
+			o.decode(payload)
+			wh, d, oid := orderKeyParts(primary)
+			return orderByCustKey(wh, d, int(o.CID), oid)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.load(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// load bulk-loads the initial population (clause 4.3 of the spec, scaled).
+func (w *Workload) load() error {
+	ctx := core.NewCtx(0x7CC)
+	rng := zipf.NewRand(0x7CC0)
+	s := w.Scale
+
+	loaders := map[*engine.Table]*engine.BulkLoader{}
+	ld := func(tb *engine.Table) *engine.BulkLoader {
+		l, ok := loaders[tb]
+		if !ok {
+			l = tb.NewBulkLoader(ctx)
+			loaders[tb] = l
+		}
+		return l
+	}
+	app := func(tb *engine.Table, key uint64, t interface{ encode([]byte) }) error {
+		p := make([]byte, tb.TupleSize())
+		t.encode(p)
+		return ld(tb).Append(key, p)
+	}
+
+	// Items (shared across warehouses).
+	for i := 1; i <= s.Items; i++ {
+		it := Item{ImageID: uint32(rng.Uint64n(10000)), Price: int64(100 + rng.Uint64n(9900)),
+			Name: fmt.Sprintf("item-%d", i)}
+		if err := app(w.item, iKey(i), &it); err != nil {
+			return err
+		}
+	}
+
+	for wh := 1; wh <= w.Warehouses; wh++ {
+		whRow := Warehouse{YTD: 30000000, Tax: int64(rng.Uint64n(2001)), Name: fmt.Sprintf("W%05d", wh)}
+		if err := app(w.warehouse, wKey(wh), &whRow); err != nil {
+			return err
+		}
+		// Stock rows for every item.
+		for i := 1; i <= s.Items; i++ {
+			st := Stock{Quantity: int32(10 + rng.Uint64n(91))}
+			if err := app(w.stock, sKey(wh, i), &st); err != nil {
+				return err
+			}
+		}
+		for d := 1; d <= s.Districts; d++ {
+			dRow := District{Tax: int64(rng.Uint64n(2001)), YTD: 3000000,
+				NextOID: uint32(s.InitialOrders) + 1, Name: fmt.Sprintf("D%d", d)}
+			if err := app(w.district, dKey(wh, d), &dRow); err != nil {
+				return err
+			}
+			for c := 1; c <= s.CustomersPerDistrict; c++ {
+				nameNum := c - 1
+				if nameNum >= 1000 {
+					nameNum = int(nurand(rng, 255, 0, 999))
+				}
+				cust := Customer{
+					Balance: -1000, Discount: int64(rng.Uint64n(5001)),
+					Last:   LastName(nameNum % 1000),
+					First:  fmt.Sprintf("FIRST%04d", c),
+					Credit: map[bool]string{true: "GC", false: "BC"}[rng.Uint64n(10) != 0],
+				}
+				if err := app(w.customer, cKey(wh, d, c), &cust); err != nil {
+					return err
+				}
+			}
+			// Initial orders: one per customer id (permuted), each with
+			// 5-15 order lines; the newest third are undelivered
+			// (new-order rows), per clause 4.3.3.1.
+			perm := permutation(rng, s.InitialOrders)
+			for o := 1; o <= s.InitialOrders; o++ {
+				c := perm[o-1]%s.CustomersPerDistrict + 1
+				olCnt := 5 + int(rng.Uint64n(11))
+				ord := Order{CID: uint32(c), EntryD: 1, OLCnt: uint8(olCnt), AllLocal: 1}
+				if o <= s.InitialOrders*2/3 {
+					ord.Carrier = uint8(1 + rng.Uint64n(10))
+				}
+				if err := app(w.order, oKey(wh, d, o), &ord); err != nil {
+					return err
+				}
+				for l := 1; l <= olCnt; l++ {
+					ol := OrderLine{IID: uint32(1 + rng.Uint64n(uint64(s.Items))),
+						SupplyW: uint16(wh), Quantity: 5,
+						Amount: int64(rng.Uint64n(999999))}
+					if ord.Carrier != 0 {
+						ol.DeliveryD = 1
+					}
+					if err := app(w.orderLine, olKey(wh, d, o, l), &ol); err != nil {
+						return err
+					}
+				}
+				if ord.Carrier == 0 {
+					no := NewOrder{}
+					if err := app(w.newOrder, oKey(wh, d, o), &no); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	for _, l := range loaders {
+		if err := l.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewOrder rows carry no meaningful payload; their existence is the queue.
+type NewOrder struct{}
+
+func (t *NewOrder) encode(p []byte) {}
+
+// permutation returns a pseudo-random permutation of [0, n).
+func permutation(rng *zipf.Rand, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(rng.Uint64n(uint64(i + 1)))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// nurand is the spec's non-uniform random function (clause 2.1.6) with a
+// fixed C constant.
+func nurand(rng *zipf.Rand, a, x, y uint64) uint64 {
+	const c = 123
+	return ((rng.Uint64n(a+1)|(x+rng.Uint64n(y-x+1)))+c)%(y-x+1) + x
+}
+
+// lastNameFromIndex walks the by-name index for (w, d, last) and returns
+// the spec's "middle" customer key, or ok=false when no customer matches.
+func (w *Workload) customerByName(wh, d int, last string) (uint64, bool) {
+	prefix := custNamePrefix(wh, d, last)
+	var matches []uint64
+	w.custByName.Scan(prefix, func(k string, v uint64) bool {
+		if !strings.HasPrefix(k, prefix) {
+			return false
+		}
+		matches = append(matches, v)
+		return true
+	})
+	if len(matches) == 0 {
+		return 0, false
+	}
+	return matches[len(matches)/2], true
+}

@@ -1,0 +1,308 @@
+package tpcc
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/engine"
+	"github.com/spitfire-db/spitfire/internal/policy"
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+func newWorkload(t *testing.T, warehouses int) *Workload {
+	t.Helper()
+	bm, err := core.New(core.Config{
+		DRAMBytes: 32 * core.PageSize,
+		NVMBytes:  128 * core.PageSize,
+		Policy:    policy.SpitfireLazy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := engine.Open(engine.Options{BM: bm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Setup(db, warehouses, DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLoadCardinalities(t *testing.T) {
+	w := newWorkload(t, 2)
+	s := w.Scale
+	if n := w.warehouse.Index().Len(); n != 2 {
+		t.Fatalf("warehouses = %d", n)
+	}
+	if n := w.district.Index().Len(); n != 2*s.Districts {
+		t.Fatalf("districts = %d", n)
+	}
+	if n := w.customer.Index().Len(); n != 2*s.Districts*s.CustomersPerDistrict {
+		t.Fatalf("customers = %d", n)
+	}
+	if n := w.item.Index().Len(); n != s.Items {
+		t.Fatalf("items = %d", n)
+	}
+	if n := w.stock.Index().Len(); n != 2*s.Items {
+		t.Fatalf("stock = %d", n)
+	}
+	if n := w.order.Index().Len(); n != 2*s.Districts*s.InitialOrders {
+		t.Fatalf("orders = %d", n)
+	}
+	// The newest third of initial orders are undelivered.
+	wantNO := 2 * s.Districts * (s.InitialOrders - s.InitialOrders*2/3)
+	if n := w.newOrder.Index().Len(); n != wantNO {
+		t.Fatalf("new orders = %d, want %d", n, wantNO)
+	}
+	if w.orderLine.Index().Len() < 5*w.order.Index().Len() {
+		t.Fatalf("order lines = %d, implausibly few", w.orderLine.Index().Len())
+	}
+}
+
+func TestLastNameGeneration(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %q", LastName(371))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Fatalf("LastName(999) = %q", LastName(999))
+	}
+}
+
+func TestCustomerByNameLookup(t *testing.T) {
+	w := newWorkload(t, 1)
+	// Customer 1 has last name LastName(0) = BARBARBAR by construction.
+	k, ok := w.customerByName(1, 1, LastName(0))
+	if !ok {
+		t.Fatal("by-name lookup found nothing")
+	}
+	ctx := core.NewCtx(5)
+	txn := w.DB.Begin()
+	buf := make([]byte, CustomerSize)
+	if err := w.customer.Read(ctx, txn, k, buf); err != nil {
+		t.Fatal(err)
+	}
+	var c Customer
+	c.decode(buf)
+	if c.Last != LastName(0) {
+		t.Fatalf("lookup returned customer with last name %q", c.Last)
+	}
+	txn.Commit(ctx)
+}
+
+func TestEachTransactionType(t *testing.T) {
+	w := newWorkload(t, 2)
+	wk := w.NewWorker(11)
+	kinds := []struct {
+		name string
+		fn   func(*engine.Txn) error
+	}{
+		{"NewOrder", wk.newOrder},
+		{"Payment", wk.payment},
+		{"OrderStatus", wk.orderStatus},
+		{"Delivery", wk.delivery},
+		{"StockLevel", wk.stockLevel},
+	}
+	for _, k := range kinds {
+		committed := false
+		for attempt := 0; attempt < 20 && !committed; attempt++ {
+			txn := w.DB.Begin()
+			if err := k.fn(txn); err != nil {
+				if aerr := txn.Abort(wk.ctx); aerr != nil {
+					t.Fatalf("%s: abort: %v", k.name, aerr)
+				}
+				continue
+			}
+			if err := txn.Commit(wk.ctx); err != nil {
+				t.Fatalf("%s: commit: %v", k.name, err)
+			}
+			committed = true
+		}
+		if !committed {
+			t.Fatalf("%s never committed in 20 attempts", k.name)
+		}
+	}
+}
+
+func TestNewOrderConsistency(t *testing.T) {
+	// Every committed NewOrder must bump the district's next order id and
+	// leave a readable order with the right number of lines.
+	w := newWorkload(t, 1)
+	wk := w.NewWorker(13)
+	ctx := wk.ctx
+
+	before := districtNextOIDSum(t, w, ctx)
+	committedOrders := 0
+	for i := 0; i < 50; i++ {
+		txn := w.DB.Begin()
+		if err := wk.newOrder(txn); err != nil {
+			txn.Abort(ctx)
+			continue
+		}
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		committedOrders++
+	}
+	after := districtNextOIDSum(t, w, ctx)
+	if after-before != committedOrders {
+		t.Fatalf("next_o_id advanced by %d for %d committed orders", after-before, committedOrders)
+	}
+}
+
+func districtNextOIDSum(t *testing.T, w *Workload, ctx *core.Ctx) int {
+	t.Helper()
+	txn := w.DB.Begin()
+	defer txn.Commit(ctx)
+	buf := make([]byte, DistrictSize)
+	sum := 0
+	for d := 1; d <= w.Scale.Districts; d++ {
+		if err := w.district.Read(ctx, txn, dKey(1, d), buf); err != nil {
+			t.Fatal(err)
+		}
+		var dist District
+		dist.decode(buf)
+		sum += int(dist.NextOID)
+	}
+	return sum
+}
+
+func TestPaymentMovesMoney(t *testing.T) {
+	w := newWorkload(t, 1)
+	wk := w.NewWorker(17)
+	ctx := wk.ctx
+
+	readYTD := func() int64 {
+		txn := w.DB.Begin()
+		defer txn.Commit(ctx)
+		buf := make([]byte, WarehouseSize)
+		if err := w.warehouse.Read(ctx, txn, wKey(1), buf); err != nil {
+			t.Fatal(err)
+		}
+		var wr Warehouse
+		wr.decode(buf)
+		return wr.YTD
+	}
+	before := readYTD()
+	committed := 0
+	for i := 0; i < 20; i++ {
+		txn := w.DB.Begin()
+		if err := wk.payment(txn); err != nil {
+			txn.Abort(ctx)
+			continue
+		}
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		committed++
+	}
+	if committed == 0 {
+		t.Fatal("no payment committed")
+	}
+	if readYTD() <= before {
+		t.Fatal("warehouse YTD did not grow")
+	}
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	w := newWorkload(t, 1)
+	wk := w.NewWorker(19)
+	ctx := wk.ctx
+	before := w.newOrder.Index().Len()
+	committed := 0
+	for i := 0; i < 10 && committed == 0; i++ {
+		txn := w.DB.Begin()
+		if err := wk.delivery(txn); err != nil {
+			txn.Abort(ctx)
+			continue
+		}
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		committed++
+	}
+	if committed == 0 {
+		t.Fatal("delivery never committed")
+	}
+	after := w.newOrder.Index().Len()
+	if after >= before {
+		t.Fatalf("new-order queue did not shrink: %d -> %d", before, after)
+	}
+	if before-after > w.Scale.Districts {
+		t.Fatalf("one delivery drained %d entries", before-after)
+	}
+}
+
+func TestMixedRun(t *testing.T) {
+	w := newWorkload(t, 2)
+	wk := w.NewWorker(23)
+	if err := wk.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if wk.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if wk.PerType[TxnNewOrder] == 0 || wk.PerType[TxnPayment] == 0 {
+		t.Fatalf("mix skewed: %v", wk.PerType)
+	}
+	// NewOrder should dominate roughly 45/43/4/4/4.
+	if wk.PerType[TxnNewOrder] < wk.PerType[TxnStockLevel] {
+		t.Fatalf("mix proportions wrong: %v", wk.PerType)
+	}
+}
+
+func TestConcurrentWorkers(t *testing.T) {
+	w := newWorkload(t, 2)
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	wks := make([]*Worker, workers)
+	for i := 0; i < workers; i++ {
+		wks[i] = w.NewWorker(uint64(i) + 31)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = wks[i].Run(150)
+		}(i)
+	}
+	wg.Wait()
+	var committed int64
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		committed += wks[i].Committed
+	}
+	if committed == 0 {
+		t.Fatal("no transactions committed under concurrency")
+	}
+}
+
+func TestNURandRange(t *testing.T) {
+	rng := zipf.NewRand(3)
+	for i := 0; i < 10_000; i++ {
+		v := nurand(rng, 255, 0, 999)
+		if v > 999 {
+			t.Fatalf("nurand out of range: %d", v)
+		}
+	}
+}
+
+func TestScaleSizing(t *testing.T) {
+	s := DefaultScale
+	per := s.BytesPerWarehouse()
+	if per <= 0 {
+		t.Fatal("non-positive bytes per warehouse")
+	}
+	if w := s.WarehousesForBytes(100 * per); w != 100 {
+		t.Fatalf("WarehousesForBytes = %d, want 100", w)
+	}
+	if w := s.WarehousesForBytes(1); w != 1 {
+		t.Fatalf("tiny budget -> %d warehouses", w)
+	}
+}

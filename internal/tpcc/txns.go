@@ -1,0 +1,486 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/engine"
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+// TxnType enumerates the five TPC-C transactions.
+type TxnType int
+
+const (
+	TxnNewOrder TxnType = iota
+	TxnPayment
+	TxnOrderStatus
+	TxnDelivery
+	TxnStockLevel
+)
+
+// String names the transaction type.
+func (t TxnType) String() string {
+	switch t {
+	case TxnNewOrder:
+		return "NewOrder"
+	case TxnPayment:
+		return "Payment"
+	case TxnOrderStatus:
+		return "OrderStatus"
+	case TxnDelivery:
+		return "Delivery"
+	case TxnStockLevel:
+		return "StockLevel"
+	}
+	return fmt.Sprintf("TxnType(%d)", int(t))
+}
+
+// pickTxn draws a transaction type with the standard mix: 45% New-Order,
+// 43% Payment, 4% each for the rest (clause 5.2.3 deck probabilities).
+func pickTxn(rng *zipf.Rand) TxnType {
+	r := rng.Uint64n(100)
+	switch {
+	case r < 45:
+		return TxnNewOrder
+	case r < 88:
+		return TxnPayment
+	case r < 92:
+		return TxnOrderStatus
+	case r < 96:
+		return TxnDelivery
+	default:
+		return TxnStockLevel
+	}
+}
+
+// Worker drives the workload from one goroutine.
+type Worker struct {
+	w   *Workload
+	ctx *core.Ctx
+	rng *zipf.Rand
+
+	bufC, bufD, bufW, bufO, bufOL, bufS, bufI, bufNO []byte
+
+	Committed int64
+	Aborted   int64
+	PerType   [5]int64
+}
+
+// NewWorker creates a worker with its own virtual clock and PRNG.
+func (w *Workload) NewWorker(seed uint64) *Worker {
+	return &Worker{
+		w:     w,
+		ctx:   core.NewCtx(seed ^ 0x7CC5EED),
+		rng:   zipf.NewRand(seed),
+		bufC:  make([]byte, CustomerSize),
+		bufD:  make([]byte, DistrictSize),
+		bufW:  make([]byte, WarehouseSize),
+		bufO:  make([]byte, OrderSize),
+		bufOL: make([]byte, OrderLineSize),
+		bufS:  make([]byte, StockSize),
+		bufI:  make([]byte, ItemSize),
+		bufNO: make([]byte, NewOrderSize),
+	}
+}
+
+// Ctx exposes the worker's context (for throughput accounting).
+func (wk *Worker) Ctx() *core.Ctx { return wk.ctx }
+
+// Op runs one transaction from the standard mix and reports whether it
+// committed (false means an MVTO conflict aborted it).
+func (wk *Worker) Op() (bool, error) {
+	t := pickTxn(wk.rng)
+	txn := wk.w.DB.Begin()
+	var err error
+	switch t {
+	case TxnNewOrder:
+		err = wk.newOrder(txn)
+	case TxnPayment:
+		err = wk.payment(txn)
+	case TxnOrderStatus:
+		err = wk.orderStatus(txn)
+	case TxnDelivery:
+		err = wk.delivery(txn)
+	case TxnStockLevel:
+		err = wk.stockLevel(txn)
+	}
+	if err != nil {
+		if aerr := txn.Abort(wk.ctx); aerr != nil {
+			return false, aerr
+		}
+		if errors.Is(err, engine.ErrConflict) || errors.Is(err, engine.ErrNotFound) {
+			// Not-found arises from racing deliveries and dangling
+			// secondary-index entries; both roll back and retry later.
+			wk.Aborted++
+			return false, nil
+		}
+		return false, fmt.Errorf("tpcc: %s: %w", t, err)
+	}
+	if err := txn.Commit(wk.ctx); err != nil {
+		return false, err
+	}
+	wk.Committed++
+	wk.PerType[t]++
+	return true, nil
+}
+
+// Run executes n transactions.
+func (wk *Worker) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := wk.Op(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (wk *Worker) homeWarehouse() int {
+	return 1 + int(wk.rng.Uint64n(uint64(wk.w.Warehouses)))
+}
+
+func (wk *Worker) randomCustomer() int {
+	return 1 + int(nurand(wk.rng, 1023, 0, uint64(wk.w.Scale.CustomersPerDistrict-1)))
+}
+
+func (wk *Worker) randomItem() int {
+	return 1 + int(nurand(wk.rng, 8191, 0, uint64(wk.w.Scale.Items-1)))
+}
+
+// newOrder implements the New-Order transaction (clause 2.4): read
+// warehouse and customer, bump the district's next-order id, insert the
+// order and its new-order queue entry, and for each of 5-15 lines read the
+// item and update its stock.
+func (wk *Worker) newOrder(txn *engine.Txn) error {
+	w := wk.w
+	ctx := wk.ctx
+	wh := wk.homeWarehouse()
+	d := 1 + int(wk.rng.Uint64n(uint64(w.Scale.Districts)))
+	c := wk.randomCustomer()
+
+	if err := w.warehouse.Read(ctx, txn, wKey(wh), wk.bufW); err != nil {
+		return err
+	}
+	if err := w.customer.Read(ctx, txn, cKey(wh, d, c), wk.bufC); err != nil {
+		return err
+	}
+
+	// District read-modify-write: allocate the order id.
+	if err := w.district.Read(ctx, txn, dKey(wh, d), wk.bufD); err != nil {
+		return err
+	}
+	var dist District
+	dist.decode(wk.bufD)
+	oid := int(dist.NextOID)
+	dist.NextOID++
+	dist.encode(wk.bufD)
+	if err := w.district.Update(ctx, txn, dKey(wh, d), wk.bufD); err != nil {
+		return err
+	}
+
+	olCnt := 5 + int(wk.rng.Uint64n(11))
+	allLocal := uint8(1)
+
+	ord := Order{CID: uint32(c), EntryD: uint64(ctx.Clock.Now()), OLCnt: uint8(olCnt), AllLocal: allLocal}
+	ord.encode(wk.bufO)
+	if err := w.order.Insert(ctx, txn, oKey(wh, d, oid), wk.bufO); err != nil {
+		return err
+	}
+	no := NewOrder{}
+	no.encode(wk.bufNO)
+	if err := w.newOrder.Insert(ctx, txn, oKey(wh, d, oid), wk.bufNO); err != nil {
+		return err
+	}
+
+	for l := 1; l <= olCnt; l++ {
+		item := wk.randomItem()
+		supplyW := wh
+		if w.Warehouses > 1 && wk.rng.Uint64n(100) == 0 {
+			// 1% of lines are supplied by a remote warehouse.
+			for supplyW == wh {
+				supplyW = 1 + int(wk.rng.Uint64n(uint64(w.Warehouses)))
+			}
+		}
+		if err := w.item.Read(ctx, txn, iKey(item), wk.bufI); err != nil {
+			return err
+		}
+		var it Item
+		it.decode(wk.bufI)
+
+		if err := w.stock.Read(ctx, txn, sKey(supplyW, item), wk.bufS); err != nil {
+			return err
+		}
+		var st Stock
+		st.decode(wk.bufS)
+		qty := int32(1 + wk.rng.Uint64n(10))
+		if st.Quantity >= qty+10 {
+			st.Quantity -= qty
+		} else {
+			st.Quantity = st.Quantity - qty + 91
+		}
+		st.YTD += uint32(qty)
+		st.OrderCnt++
+		if supplyW != wh {
+			st.RemoteCnt++
+		}
+		st.encode(wk.bufS)
+		if err := w.stock.Update(ctx, txn, sKey(supplyW, item), wk.bufS); err != nil {
+			return err
+		}
+
+		ol := OrderLine{IID: uint32(item), SupplyW: uint16(supplyW), Quantity: uint8(qty),
+			Amount: int64(qty) * it.Price}
+		ol.encode(wk.bufOL)
+		if err := w.orderLine.Insert(ctx, txn, olKey(wh, d, oid, l), wk.bufOL); err != nil {
+			return err
+		}
+	}
+	// The order-by-customer secondary index is maintained by the engine.
+	return nil
+}
+
+// payment implements the Payment transaction (clause 2.5): update the
+// warehouse and district YTD, select the customer by last name 60% of the
+// time, update their balance, and insert a history row.
+func (wk *Worker) payment(txn *engine.Txn) error {
+	w := wk.w
+	ctx := wk.ctx
+	wh := wk.homeWarehouse()
+	d := 1 + int(wk.rng.Uint64n(uint64(w.Scale.Districts)))
+	amount := int64(100 + wk.rng.Uint64n(499901)) // $1.00 - $5000.00 in cents
+
+	if err := w.warehouse.Read(ctx, txn, wKey(wh), wk.bufW); err != nil {
+		return err
+	}
+	var wr Warehouse
+	wr.decode(wk.bufW)
+	wr.YTD += amount
+	wr.encode(wk.bufW)
+	if err := w.warehouse.Update(ctx, txn, wKey(wh), wk.bufW); err != nil {
+		return err
+	}
+
+	if err := w.district.Read(ctx, txn, dKey(wh, d), wk.bufD); err != nil {
+		return err
+	}
+	var dist District
+	dist.decode(wk.bufD)
+	dist.YTD += amount
+	dist.encode(wk.bufD)
+	if err := w.district.Update(ctx, txn, dKey(wh, d), wk.bufD); err != nil {
+		return err
+	}
+
+	// Customer selection: 60% by last name, 40% by id (clause 2.5.1.2).
+	var custKey uint64
+	if wk.rng.Uint64n(100) < 60 {
+		last := LastName(int(nurand(wk.rng, 255, 0, 999)))
+		if k, ok := w.customerByName(wh, d, last); ok {
+			custKey = k
+		} else {
+			custKey = cKey(wh, d, wk.randomCustomer())
+		}
+	} else {
+		custKey = cKey(wh, d, wk.randomCustomer())
+	}
+	if err := w.customer.Read(ctx, txn, custKey, wk.bufC); err != nil {
+		return err
+	}
+	var cust Customer
+	cust.decode(wk.bufC)
+	cust.Balance -= amount
+	cust.YTDPayment += amount
+	cust.PaymentCnt++
+	cust.encode(wk.bufC)
+	if err := w.customer.Update(ctx, txn, custKey, wk.bufC); err != nil {
+		return err
+	}
+
+	h := History{Amount: amount, Date: uint64(ctx.Clock.Now()), CKey: custKey}
+	hp := make([]byte, HistorySize)
+	h.encode(hp)
+	hid := w.nextHID.Add(1)
+	return w.history.Insert(ctx, txn, hid, hp)
+}
+
+// orderStatus implements Order-Status (clause 2.6): find the customer (by
+// name 60% of the time), their most recent order, and read its lines.
+func (wk *Worker) orderStatus(txn *engine.Txn) error {
+	w := wk.w
+	ctx := wk.ctx
+	wh := wk.homeWarehouse()
+	d := 1 + int(wk.rng.Uint64n(uint64(w.Scale.Districts)))
+
+	var custKey uint64
+	if wk.rng.Uint64n(100) < 60 {
+		last := LastName(int(nurand(wk.rng, 255, 0, 999)))
+		if k, ok := w.customerByName(wh, d, last); ok {
+			custKey = k
+		} else {
+			custKey = cKey(wh, d, wk.randomCustomer())
+		}
+	} else {
+		custKey = cKey(wh, d, wk.randomCustomer())
+	}
+	if err := w.customer.Read(ctx, txn, custKey, wk.bufC); err != nil {
+		return err
+	}
+	c := int(custKey & 0xFFFFF)
+
+	// Newest order: ascending scan over the bit-inverted order ids.
+	var orderK uint64
+	found := false
+	from := orderByCustKey(wh, d, c, 0xFFFFFF) // smallest key for this customer
+	w.orderByCust.Scan(from, func(k, v uint64) bool {
+		if k>>24 != cKey(wh, d, c) {
+			return false
+		}
+		orderK, found = v, true
+		return false
+	})
+	if !found {
+		return nil // customer has no orders yet
+	}
+	if err := w.order.Read(ctx, txn, orderK, wk.bufO); err != nil {
+		return err
+	}
+	var ord Order
+	ord.decode(wk.bufO)
+	oid := int(orderK & 0xFFFFFF)
+	for l := 1; l <= int(ord.OLCnt); l++ {
+		if err := w.orderLine.Read(ctx, txn, olKey(wh, d, oid, l), wk.bufOL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// delivery implements Delivery (clause 2.7): for each district, pop the
+// oldest undelivered order, stamp its carrier and lines, and credit the
+// customer.
+func (wk *Worker) delivery(txn *engine.Txn) error {
+	w := wk.w
+	ctx := wk.ctx
+	wh := wk.homeWarehouse()
+	carrier := uint8(1 + wk.rng.Uint64n(10))
+
+	for d := 1; d <= w.Scale.Districts; d++ {
+		// Oldest new-order entry for this district.
+		var noKeyFound uint64
+		found := false
+		w.newOrder.ScanKeys(oKey(wh, d, 0), func(k uint64, _ engine.RID) bool {
+			if k>>24 != dKey(wh, d) {
+				return false
+			}
+			noKeyFound, found = k, true
+			return false
+		})
+		if !found {
+			continue
+		}
+		if err := w.newOrder.Delete(ctx, txn, noKeyFound); err != nil {
+			return err
+		}
+		oid := int(noKeyFound & 0xFFFFFF)
+
+		if err := w.order.Read(ctx, txn, noKeyFound, wk.bufO); err != nil {
+			return err
+		}
+		var ord Order
+		ord.decode(wk.bufO)
+		ord.Carrier = carrier
+		ord.encode(wk.bufO)
+		if err := w.order.Update(ctx, txn, noKeyFound, wk.bufO); err != nil {
+			return err
+		}
+
+		var total int64
+		now := uint64(ctx.Clock.Now())
+		for l := 1; l <= int(ord.OLCnt); l++ {
+			lk := olKey(wh, d, oid, l)
+			if err := w.orderLine.Read(ctx, txn, lk, wk.bufOL); err != nil {
+				return err
+			}
+			var ol OrderLine
+			ol.decode(wk.bufOL)
+			ol.DeliveryD = now
+			total += ol.Amount
+			ol.encode(wk.bufOL)
+			if err := w.orderLine.Update(ctx, txn, lk, wk.bufOL); err != nil {
+				return err
+			}
+		}
+
+		ck := cKey(wh, d, int(ord.CID))
+		if err := w.customer.Read(ctx, txn, ck, wk.bufC); err != nil {
+			return err
+		}
+		var cust Customer
+		cust.decode(wk.bufC)
+		cust.Balance += total
+		cust.DeliveryCnt++
+		cust.encode(wk.bufC)
+		if err := w.customer.Update(ctx, txn, ck, wk.bufC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stockLevel implements Stock-Level (clause 2.8): examine the district's
+// last 20 orders and count distinct items whose stock is below a threshold.
+func (wk *Worker) stockLevel(txn *engine.Txn) error {
+	w := wk.w
+	ctx := wk.ctx
+	wh := wk.homeWarehouse()
+	d := 1 + int(wk.rng.Uint64n(uint64(w.Scale.Districts)))
+	threshold := int32(10 + wk.rng.Uint64n(11))
+
+	if err := w.district.Read(ctx, txn, dKey(wh, d), wk.bufD); err != nil {
+		return err
+	}
+	var dist District
+	dist.decode(wk.bufD)
+
+	lo := int(dist.NextOID) - 20
+	if lo < 1 {
+		lo = 1
+	}
+	seen := make(map[uint32]bool)
+	low := 0
+	for oid := lo; oid < int(dist.NextOID); oid++ {
+		if err := w.order.Read(ctx, txn, oKey(wh, d, oid), wk.bufO); err != nil {
+			if errors.Is(err, engine.ErrNotFound) {
+				continue
+			}
+			return err
+		}
+		var ord Order
+		ord.decode(wk.bufO)
+		for l := 1; l <= int(ord.OLCnt); l++ {
+			if err := w.orderLine.Read(ctx, txn, olKey(wh, d, oid, l), wk.bufOL); err != nil {
+				if errors.Is(err, engine.ErrNotFound) {
+					continue
+				}
+				return err
+			}
+			var ol OrderLine
+			ol.decode(wk.bufOL)
+			if seen[ol.IID] {
+				continue
+			}
+			seen[ol.IID] = true
+			if err := w.stock.Read(ctx, txn, sKey(wh, int(ol.IID)), wk.bufS); err != nil {
+				return err
+			}
+			var st Stock
+			st.decode(wk.bufS)
+			if st.Quantity < threshold {
+				low++
+			}
+		}
+	}
+	_ = low
+	return nil
+}

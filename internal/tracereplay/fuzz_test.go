@@ -1,0 +1,24 @@
+package tracereplay
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary text must never panic the trace parser, and every
+// accepted op must carry a valid opcode.
+func FuzzParse(f *testing.F) {
+	f.Add("R 1\nW 2\n")
+	f.Add("# c\n\nr 0\n")
+	f.Add("X 1")
+	f.Add("R 99999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		ops, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if len(ops) == 0 {
+			t.Fatal("accepted trace with zero ops")
+		}
+	})
+}

@@ -1,0 +1,47 @@
+// Package vclock provides per-worker virtual clocks measured in simulated
+// nanoseconds.
+//
+// Spitfire's evaluation platform is a two-socket Optane machine; this
+// reproduction runs on arbitrary hardware, so elapsed time is simulated
+// rather than measured. Every worker goroutine owns a Clock. Devices and
+// compute steps charge simulated nanoseconds to the clock of the worker that
+// issued them; throughput is then operations per simulated second, which is
+// deterministic and independent of the host's core count.
+package vclock
+
+// Clock is a virtual clock owned by a single worker goroutine. It is not
+// safe for concurrent use; each worker must have its own.
+type Clock struct {
+	now int64 // simulated nanoseconds since the start of the run
+}
+
+// New returns a clock positioned at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// At returns a clock positioned at the given virtual time in nanoseconds.
+func At(ns int64) *Clock { return &Clock{now: ns} }
+
+// Now returns the current virtual time in nanoseconds.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by d nanoseconds. Negative d is ignored so
+// that device queuing math can never move a worker backwards in time.
+func (c *Clock) Advance(d int64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to time t if t is in the future.
+// It returns the amount of time skipped (zero if t is in the past).
+func (c *Clock) AdvanceTo(t int64) int64 {
+	if t <= c.now {
+		return 0
+	}
+	d := t - c.now
+	c.now = t
+	return d
+}
+
+// Seconds returns the current virtual time in seconds.
+func (c *Clock) Seconds() float64 { return float64(c.now) / 1e9 }

@@ -1,0 +1,45 @@
+package vclock
+
+import "testing"
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("after Advance(100): %d", c.Now())
+	}
+	c.Advance(-50)
+	if c.Now() != 100 {
+		t.Fatalf("negative Advance moved clock to %d", c.Now())
+	}
+	c.Advance(0)
+	if c.Now() != 100 {
+		t.Fatalf("zero Advance moved clock to %d", c.Now())
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := At(1000)
+	if skipped := c.AdvanceTo(500); skipped != 0 {
+		t.Fatalf("AdvanceTo past time skipped %d, want 0", skipped)
+	}
+	if c.Now() != 1000 {
+		t.Fatalf("AdvanceTo past time moved clock to %d", c.Now())
+	}
+	if skipped := c.AdvanceTo(2500); skipped != 1500 {
+		t.Fatalf("AdvanceTo(2500) skipped %d, want 1500", skipped)
+	}
+	if c.Now() != 2500 {
+		t.Fatalf("clock at %d, want 2500", c.Now())
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	c := At(2_500_000_000)
+	if got := c.Seconds(); got != 2.5 {
+		t.Fatalf("Seconds() = %v, want 2.5", got)
+	}
+}

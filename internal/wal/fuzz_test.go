@@ -1,0 +1,30 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeOne: arbitrary bytes must never panic the record decoder, and
+// any frame it accepts must re-encode to the same bytes.
+func FuzzDecodeOne(f *testing.F) {
+	rec := Record{LSN: 3, TxnID: 9, Type: RecUpdate, PageID: 4, Slot: 2,
+		Before: []byte("b"), After: []byte("a")}
+	f.Add(rec.encode(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, n, ok := decodeOne(data)
+		if !ok {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		round := got.encode(nil)
+		if !bytes.Equal(round, data[:n]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}

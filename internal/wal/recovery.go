@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/vclock"
+)
+
+// Applier applies redo/undo images to pages. The storage engine implements
+// it on top of the (already reconstructed) buffer manager; redo must be
+// idempotent via page-LSN comparison.
+type Applier interface {
+	// ApplyRedo reinstalls rec's after-image if the page's LSN is older
+	// than rec.LSN.
+	ApplyRedo(c *vclock.Clock, rec *Record) error
+	// ApplyUndo restores rec's before-image unconditionally (recovery is
+	// single-threaded and runs undo exactly once, newest first).
+	ApplyUndo(c *vclock.Clock, rec *Record) error
+}
+
+// RecoveredLog is the completed, parsed log plus the analysis-pass outcome.
+type RecoveredLog struct {
+	Records   []Record
+	Committed map[uint64]bool // txn id -> reached a commit record
+	Aborted   map[uint64]bool
+	Losers    map[uint64]bool // began but neither committed nor aborted
+	MaxLSN    uint64
+}
+
+// ScanBuffer parses the surviving NVM log buffer (used by RecoverManager
+// and by tests).
+func ScanBuffer(c *vclock.Clock, pm *pmem.PMem) []Record {
+	if pm.Size() < bufHeaderSize {
+		return nil
+	}
+	var hdr [16]byte
+	pm.Read(c, 0, hdr[:])
+	if le64(hdr[0:]) != 0x53504657414C3031 {
+		return nil
+	}
+	off := int64(le64(hdr[8:]))
+	if off < bufHeaderSize || off > pm.Size() {
+		return nil
+	}
+	live := make([]byte, off-bufHeaderSize)
+	pm.Read(c, bufHeaderSize, live)
+	var recs []Record
+	for len(live) > 0 {
+		rec, n, ok := decodeOne(live)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		live = live[n:]
+	}
+	return recs
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Recover runs the paper's recovery sequence against a surviving NVM log
+// buffer and SSD log file:
+//
+//  1. complete the log: records still in the (persistent) NVM buffer are
+//     appended to the SSD log file;
+//  2. analysis: classify transactions into winners and losers;
+//  3. redo: repeat history for all records in LSN order;
+//  4. undo: roll back losers' updates in reverse LSN order.
+//
+// It returns a fresh Manager positioned after the recovered log, plus the
+// recovered-log summary.
+func Recover(c *vclock.Clock, opt Options, app Applier) (*Manager, *RecoveredLog, error) {
+	// Step 1: complete the log.
+	tail := ScanBuffer(c, opt.Buffer)
+	var tailBytes []byte
+	for i := range tail {
+		tailBytes = tail[i].encode(tailBytes)
+	}
+	if len(tailBytes) > 0 {
+		if err := opt.Store.Append(c, tailBytes); err != nil {
+			return nil, nil, fmt.Errorf("wal: completing log: %w", err)
+		}
+	}
+
+	// Parse the full log.
+	raw, err := opt.Store.ReadAll(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	rl := &RecoveredLog{
+		Committed: make(map[uint64]bool),
+		Aborted:   make(map[uint64]bool),
+		Losers:    make(map[uint64]bool),
+	}
+	for len(raw) > 0 {
+		rec, n, ok := decodeOne(raw)
+		if !ok {
+			break
+		}
+		rl.Records = append(rl.Records, rec)
+		raw = raw[n:]
+	}
+	sort.SliceStable(rl.Records, func(i, j int) bool { return rl.Records[i].LSN < rl.Records[j].LSN })
+
+	// Step 2: analysis.
+	for i := range rl.Records {
+		rec := &rl.Records[i]
+		if rec.LSN > rl.MaxLSN {
+			rl.MaxLSN = rec.LSN
+		}
+		switch rec.Type {
+		case RecBegin:
+			rl.Losers[rec.TxnID] = true
+		case RecCommit:
+			rl.Committed[rec.TxnID] = true
+			delete(rl.Losers, rec.TxnID)
+		case RecAbort:
+			rl.Aborted[rec.TxnID] = true
+			delete(rl.Losers, rec.TxnID)
+		}
+	}
+
+	// Step 3: redo (repeating history, including losers, so undo sees the
+	// exact state the crash left).
+	for i := range rl.Records {
+		rec := &rl.Records[i]
+		switch rec.Type {
+		case RecUpdate, RecInsert, RecDelete:
+			if rl.Aborted[rec.TxnID] {
+				// Aborted transactions were rolled back in place before
+				// the abort record; their updates must not be redone.
+				continue
+			}
+			if err := app.ApplyRedo(c, rec); err != nil {
+				return nil, nil, fmt.Errorf("wal: redo LSN %d: %w", rec.LSN, err)
+			}
+		}
+	}
+
+	// Step 4: undo losers, newest first.
+	for i := len(rl.Records) - 1; i >= 0; i-- {
+		rec := &rl.Records[i]
+		if !rl.Losers[rec.TxnID] {
+			continue
+		}
+		switch rec.Type {
+		case RecUpdate, RecInsert, RecDelete:
+			if err := app.ApplyUndo(c, rec); err != nil {
+				return nil, nil, fmt.Errorf("wal: undo LSN %d: %w", rec.LSN, err)
+			}
+		}
+	}
+
+	// Build a fresh manager positioned after the log. The buffer restarts
+	// empty (its records are now in the SSD log file).
+	m, err := New(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.nextLSN.Store(rl.MaxLSN + 1)
+
+	// Close out losers in the log so a second crash doesn't re-undo.
+	for txn := range rl.Losers {
+		if _, err := m.Append(c, &Record{TxnID: txn, Type: RecAbort}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, rl, nil
+}

@@ -1,0 +1,302 @@
+// Package wal implements Spitfire's NVM-aware write-ahead logging and
+// recovery protocol (§5.2 of the paper).
+//
+// Log records are first persisted in a *shared NVM log buffer*, exploiting
+// NVM's persistence and latency: once a transaction's commit record is
+// persisted there (clwb+sfence), the transaction is durable — no synchronous
+// SSD write sits on the commit path. When the buffer fills past a threshold
+// its contents are appended to an on-SSD log file and the buffer is reset.
+//
+// A record carries: transaction and page identifiers, the record type, the
+// LSN of the transaction's previous record, and before/after images —
+// exactly the fields §5.2 lists.
+//
+// Recovery completes the log (the persistent NVM buffer's tail is appended
+// to the SSD log file) and then runs the traditional analysis / redo / undo
+// passes. Redo re-applies after-images to pages whose page LSN is older;
+// undo restores before-images of loser transactions in reverse LSN order.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/vclock"
+)
+
+// RecordType enumerates log record kinds.
+type RecordType uint8
+
+const (
+	RecBegin RecordType = iota + 1
+	RecUpdate
+	RecInsert
+	RecDelete
+	RecCommit
+	RecAbort
+	RecCheckpoint
+)
+
+// String names the record type.
+func (t RecordType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecUpdate:
+		return "UPDATE"
+	case RecInsert:
+		return "INSERT"
+	case RecDelete:
+		return "DELETE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	}
+	return fmt.Sprintf("RecordType(%d)", uint8(t))
+}
+
+// Record is one log record.
+type Record struct {
+	LSN     uint64
+	TxnID   uint64
+	PrevLSN uint64
+	Type    RecordType
+	TableID uint32
+	PageID  uint64
+	Slot    uint16
+	Before  []byte // before image (undo)
+	After   []byte // after image (redo)
+}
+
+const recHeaderSize = 8 + 8 + 8 + 1 + 4 + 8 + 2 + 4 + 4 // body header fields
+
+func (r *Record) bodyLen() int { return recHeaderSize + len(r.Before) + len(r.After) }
+
+// encode appends the framed record (length + checksum + body) to dst.
+func (r *Record) encode(dst []byte) []byte {
+	body := make([]byte, r.bodyLen())
+	le := binary.LittleEndian
+	le.PutUint64(body[0:], r.LSN)
+	le.PutUint64(body[8:], r.TxnID)
+	le.PutUint64(body[16:], r.PrevLSN)
+	body[24] = byte(r.Type)
+	le.PutUint32(body[25:], r.TableID)
+	le.PutUint64(body[29:], r.PageID)
+	le.PutUint16(body[37:], r.Slot)
+	le.PutUint32(body[39:], uint32(len(r.Before)))
+	le.PutUint32(body[43:], uint32(len(r.After)))
+	copy(body[recHeaderSize:], r.Before)
+	copy(body[recHeaderSize+len(r.Before):], r.After)
+
+	var frame [8]byte
+	le.PutUint32(frame[0:], uint32(len(body)))
+	le.PutUint32(frame[4:], checksum(body))
+	dst = append(dst, frame[:]...)
+	return append(dst, body...)
+}
+
+// decodeOne parses one framed record from b, returning the record and the
+// bytes consumed. A zero length, short frame, or checksum mismatch yields
+// ok=false: the scan has reached the end of valid log.
+func decodeOne(b []byte) (rec Record, n int, ok bool) {
+	le := binary.LittleEndian
+	if len(b) < 8 {
+		return rec, 0, false
+	}
+	bodyLen := int(le.Uint32(b[0:]))
+	if bodyLen < recHeaderSize || len(b) < 8+bodyLen {
+		return rec, 0, false
+	}
+	body := b[8 : 8+bodyLen]
+	if checksum(body) != le.Uint32(b[4:]) {
+		return rec, 0, false
+	}
+	rec.LSN = le.Uint64(body[0:])
+	rec.TxnID = le.Uint64(body[8:])
+	rec.PrevLSN = le.Uint64(body[16:])
+	rec.Type = RecordType(body[24])
+	rec.TableID = le.Uint32(body[25:])
+	rec.PageID = le.Uint64(body[29:])
+	rec.Slot = le.Uint16(body[37:])
+	beforeLen := int(le.Uint32(body[39:]))
+	afterLen := int(le.Uint32(body[43:]))
+	if recHeaderSize+beforeLen+afterLen != bodyLen {
+		return rec, 0, false
+	}
+	rec.Before = append([]byte(nil), body[recHeaderSize:recHeaderSize+beforeLen]...)
+	rec.After = append([]byte(nil), body[recHeaderSize+beforeLen:]...)
+	return rec, 8 + bodyLen, true
+}
+
+// checksum is a simple FNV-1a over the body; it exists to stop recovery
+// scans at the first torn record, not to defend against corruption.
+func checksum(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// LogStore is the SSD-resident log file.
+type LogStore interface {
+	// Append durably appends data to the log, charging the worker.
+	Append(c *vclock.Clock, data []byte) error
+	// ReadAll returns the full log contents.
+	ReadAll(c *vclock.Clock) ([]byte, error)
+	// Truncate discards the log (after a checkpoint).
+	Truncate(c *vclock.Clock) error
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Buffer is the NVM arena holding the log buffer. Required.
+	Buffer *pmem.PMem
+	// Store is the SSD log file. Required.
+	Store LogStore
+	// FlushThreshold triggers an asynchronous append of the NVM buffer to
+	// the SSD log once the buffer holds this many bytes. Defaults to half
+	// the buffer.
+	FlushThreshold int64
+}
+
+// bufHeaderSize reserves space at the front of the NVM buffer for the
+// persisted write offset, so recovery knows how much of the buffer is live.
+const bufHeaderSize = pmem.CacheLineSize
+
+// Manager is the write-ahead log manager.
+type Manager struct {
+	pm        *pmem.PMem
+	store     LogStore
+	threshold int64
+
+	mu     sync.Mutex
+	bufOff int64 // next free byte in the NVM buffer
+
+	nextLSN atomic.Uint64
+
+	appends atomic.Int64
+	flushes atomic.Int64
+	commits atomic.Int64
+}
+
+// New creates a WAL manager over an empty log buffer.
+func New(opt Options) (*Manager, error) {
+	if opt.Buffer == nil || opt.Store == nil {
+		return nil, errors.New("wal: Buffer and Store are required")
+	}
+	if opt.Buffer.Size() < bufHeaderSize+1024 {
+		return nil, fmt.Errorf("wal: NVM log buffer of %d bytes is too small", opt.Buffer.Size())
+	}
+	th := opt.FlushThreshold
+	if th <= 0 {
+		th = opt.Buffer.Size() / 2
+	}
+	m := &Manager{pm: opt.Buffer, store: opt.Store, threshold: th, bufOff: bufHeaderSize}
+	m.nextLSN.Store(1)
+	ctx := vclock.New()
+	m.persistOffset(ctx)
+	return m, nil
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (m *Manager) NextLSN() uint64 { return m.nextLSN.Load() }
+
+// persistOffset persists the live-buffer extent. Caller holds mu (or is
+// single-threaded setup/recovery).
+func (m *Manager) persistOffset(c *vclock.Clock) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], 0x53504657414C3031) // "SPFWAL01"
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(m.bufOff))
+	m.pm.Write(c, 0, hdr[:])
+	m.pm.Persist(c, 0, len(hdr))
+}
+
+// Append assigns the record an LSN, persists it in the NVM log buffer, and
+// returns the LSN. If the buffer passes the flush threshold its contents
+// are appended to the SSD log (the paper does this asynchronously; here the
+// appending worker pays for it, which charges the same total I/O).
+func (m *Manager) Append(c *vclock.Clock, rec *Record) (uint64, error) {
+	frame := rec.encode(nil) // encoded below with LSN patched; see note
+	m.mu.Lock()
+	rec.LSN = m.nextLSN.Add(1) - 1
+	// Re-encode with the real LSN (cheap; records are small).
+	frame = rec.encode(frame[:0])
+	if m.bufOff+int64(len(frame)) > m.pm.Size() {
+		if err := m.flushLocked(c); err != nil {
+			m.mu.Unlock()
+			return 0, err
+		}
+		if m.bufOff+int64(len(frame)) > m.pm.Size() {
+			m.mu.Unlock()
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds the log buffer", len(frame))
+		}
+	}
+	off := m.bufOff
+	m.pm.Write(c, off, frame)
+	m.pm.Persist(c, off, len(frame))
+	m.bufOff = off + int64(len(frame))
+	m.persistOffset(c)
+	needFlush := m.bufOff-bufHeaderSize >= m.threshold
+	var err error
+	if needFlush {
+		err = m.flushLocked(c)
+	}
+	m.mu.Unlock()
+	m.appends.Add(1)
+	if rec.Type == RecCommit {
+		m.commits.Add(1)
+	}
+	return rec.LSN, err
+}
+
+// Flush forces the NVM buffer's contents onto the SSD log.
+func (m *Manager) Flush(c *vclock.Clock) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushLocked(c)
+}
+
+// flushLocked appends buffer contents to the SSD log and resets the buffer.
+// Caller holds mu.
+func (m *Manager) flushLocked(c *vclock.Clock) error {
+	n := m.bufOff - bufHeaderSize
+	if n <= 0 {
+		return nil
+	}
+	data := make([]byte, n)
+	m.pm.Read(c, bufHeaderSize, data)
+	if err := m.store.Append(c, data); err != nil {
+		return err
+	}
+	m.bufOff = bufHeaderSize
+	m.persistOffset(c)
+	m.flushes.Add(1)
+	return nil
+}
+
+// Truncate flushes and then discards the SSD log. Call only after a
+// checkpoint has made all logged changes durable in place.
+func (m *Manager) Truncate(c *vclock.Clock) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.bufOff - bufHeaderSize
+	if n > 0 {
+		m.bufOff = bufHeaderSize
+		m.persistOffset(c)
+	}
+	return m.store.Truncate(c)
+}
+
+// Stats reports append/flush/commit counts.
+func (m *Manager) Stats() (appends, flushes, commits int64) {
+	return m.appends.Load(), m.flushes.Load(), m.commits.Load()
+}

@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/vclock"
+)
+
+func TestRecordTypeStrings(t *testing.T) {
+	want := map[RecordType]string{
+		RecBegin: "BEGIN", RecUpdate: "UPDATE", RecInsert: "INSERT",
+		RecDelete: "DELETE", RecCommit: "COMMIT", RecAbort: "ABORT",
+		RecCheckpoint: "CHECKPOINT",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+	if !strings.Contains(RecordType(99).String(), "99") {
+		t.Fatal("unknown record type string unhelpful")
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+	tiny := pmem.New(pmem.Options{Size: 128})
+	if _, err := New(Options{Buffer: tiny, Store: NewMemLog(nil)}); err == nil {
+		t.Fatal("tiny buffer accepted")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	m, _, _ := newTestManager(t, 1<<12+1024+64)
+	c := vclock.New()
+	huge := &Record{Type: RecUpdate, After: make([]byte, 1<<13)}
+	if _, err := m.Append(c, huge); err == nil {
+		t.Fatal("record larger than the buffer accepted")
+	}
+}
+
+func TestExplicitFlushThreshold(t *testing.T) {
+	pm := pmem.New(pmem.Options{Size: 1 << 16})
+	store := NewMemLog(nil)
+	m, err := New(Options{Buffer: pm, Store: store, FlushThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := vclock.New()
+	if _, err := m.Append(c, &Record{Type: RecUpdate, After: make([]byte, 300)}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("explicit threshold did not trigger a flush")
+	}
+}
+
+func TestScanBufferHandlesGarbage(t *testing.T) {
+	// An arena that never held a log yields no records.
+	pm := pmem.New(pmem.Options{Size: 1 << 12})
+	if recs := ScanBuffer(vclock.New(), pm); recs != nil {
+		t.Fatalf("garbage arena scanned %d records", len(recs))
+	}
+	// Too-small arenas are rejected gracefully.
+	small := pmem.New(pmem.Options{Size: 8})
+	if recs := ScanBuffer(vclock.New(), small); recs != nil {
+		t.Fatal("undersized arena produced records")
+	}
+}
+
+func TestRecoverOnEmptyLog(t *testing.T) {
+	pm := pmem.New(pmem.Options{Size: 1 << 14, TrackCrashes: true})
+	store := NewMemLog(nil)
+	if _, err := New(Options{Buffer: pm, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	pm.Crash()
+	m, rl, err := Recover(vclock.New(), Options{Buffer: pm, Store: store}, newApplierMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rl.Records) != 0 || len(rl.Losers) != 0 {
+		t.Fatalf("empty log recovered %d records, %d losers", len(rl.Records), len(rl.Losers))
+	}
+	if m.NextLSN() != 1 {
+		t.Fatalf("fresh manager NextLSN = %d", m.NextLSN())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m, _, _ := newTestManager(t, 1<<16)
+	c := vclock.New()
+	m.Append(c, &Record{Type: RecBegin, TxnID: 1})
+	m.Append(c, &Record{Type: RecCommit, TxnID: 1})
+	m.Flush(c)
+	appends, flushes, commits := m.Stats()
+	if appends != 2 || commits != 1 || flushes == 0 {
+		t.Fatalf("stats = %d appends, %d flushes, %d commits", appends, flushes, commits)
+	}
+}

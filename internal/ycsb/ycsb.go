@@ -1,0 +1,162 @@
+// Package ycsb implements the YCSB key-value workload used throughout the
+// paper's evaluation (§6.1): a single table of ~1 KB tuples (4 B key +
+// 10 × 100 B columns), keys drawn from a Zipfian distribution, and three
+// mixes:
+//
+//	YCSB-RO — 100% reads
+//	YCSB-BA — 50% reads, 50% updates
+//	YCSB-WH — 10% reads, 90% updates
+//
+// Each transaction touches a single tuple by primary key, exactly as the
+// paper describes.
+package ycsb
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/engine"
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+// TupleSize is the YCSB tuple payload: ten 100 B columns (the 4 B key lives
+// in the engine's slot header).
+const TupleSize = 1000
+
+// TableID identifies the YCSB table within the engine.
+const TableID = 100
+
+// DefaultTheta is the Zipfian skew used unless stated otherwise (z = 0.3).
+const DefaultTheta = 0.3
+
+// Mix is a read/update transaction mixture.
+type Mix struct {
+	Name    string
+	ReadPct int // percentage of read transactions; the rest are updates
+}
+
+// The paper's three mixes.
+var (
+	ReadOnly   = Mix{Name: "YCSB-RO", ReadPct: 100}
+	Balanced   = Mix{Name: "YCSB-BA", ReadPct: 50}
+	WriteHeavy = Mix{Name: "YCSB-WH", ReadPct: 10}
+)
+
+// Workload is a loaded YCSB database.
+type Workload struct {
+	DB      *engine.DB
+	Table   *engine.Table
+	Records uint64
+	Theta   float64
+}
+
+// Setup creates and bulk-loads the YCSB table.
+func Setup(db *engine.DB, records uint64, theta float64) (*Workload, error) {
+	if records == 0 {
+		return nil, errors.New("ycsb: need at least one record")
+	}
+	tb, err := db.CreateTable(TableID, "usertable", TupleSize)
+	if err != nil {
+		return nil, err
+	}
+	ctx := core.NewCtx(0xCB)
+	err = tb.Load(ctx, records, func(i uint64, p []byte) uint64 {
+		fill(p, i, 0)
+		return i
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{DB: db, Table: tb, Records: records, Theta: theta}, nil
+}
+
+// fill synthesizes the ten 100 B columns for a key.
+func fill(p []byte, key uint64, version byte) {
+	for col := 0; col < 10; col++ {
+		base := col * 100
+		seed := key*31 + uint64(col) + uint64(version)*131
+		for i := 0; i < 100; i++ {
+			p[base+i] = byte(seed>>(uint(i)%8) + uint64(i))
+		}
+	}
+}
+
+// RecordsForBytes returns how many tuples make a database of roughly the
+// given size (the paper speaks of database sizes in bytes; each ~1 KB tuple
+// occupies one slot).
+func RecordsForBytes(bytes int64) uint64 {
+	n := bytes / (TupleSize + 16) // slot = header + key + payload
+	if n < 1 {
+		n = 1
+	}
+	return uint64(n)
+}
+
+// Worker drives the workload from one goroutine.
+type Worker struct {
+	w    *Workload
+	ctx  *core.Ctx
+	gen  *zipf.Generator
+	rng  *zipf.Rand
+	buf  []byte
+	vers byte
+
+	Committed int64
+	Aborted   int64
+}
+
+// NewWorker creates a worker with its own virtual clock and PRNG.
+func (w *Workload) NewWorker(seed uint64) *Worker {
+	rng := zipf.NewRand(seed)
+	return &Worker{
+		w:   w,
+		ctx: core.NewCtx(seed ^ 0x5EED),
+		gen: zipf.NewGenerator(w.Records, w.Theta, rng),
+		rng: rng,
+		buf: make([]byte, TupleSize),
+	}
+}
+
+// Ctx exposes the worker's context (for throughput accounting).
+func (wk *Worker) Ctx() *core.Ctx { return wk.ctx }
+
+// Op runs one transaction of the mix and reports whether it committed.
+func (wk *Worker) Op(mix Mix) (bool, error) {
+	key := wk.gen.Next()
+	isRead := int(wk.rng.Uint64n(100)) < mix.ReadPct
+	txn := wk.w.DB.Begin()
+	var err error
+	if isRead {
+		err = wk.w.Table.Read(wk.ctx, txn, key, wk.buf)
+	} else {
+		wk.vers++
+		fill(wk.buf, key, wk.vers)
+		err = wk.w.Table.Update(wk.ctx, txn, key, wk.buf)
+	}
+	if err != nil {
+		if aerr := txn.Abort(wk.ctx); aerr != nil {
+			return false, aerr
+		}
+		if errors.Is(err, engine.ErrConflict) {
+			wk.Aborted++
+			return false, nil
+		}
+		return false, fmt.Errorf("ycsb: %w", err)
+	}
+	if err := txn.Commit(wk.ctx); err != nil {
+		return false, err
+	}
+	wk.Committed++
+	return true, nil
+}
+
+// Run executes n transactions of the mix.
+func (wk *Worker) Run(mix Mix, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := wk.Op(mix); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package ycsb
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/engine"
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+func newWorkload(t *testing.T, records uint64) *Workload {
+	t.Helper()
+	bm, err := core.New(core.Config{
+		DRAMBytes: 16 * core.PageSize,
+		NVMBytes:  64 * core.PageSize,
+		Policy:    policy.SpitfireLazy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := engine.Open(engine.Options{BM: bm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Setup(db, records, DefaultTheta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSetupLoadsRecords(t *testing.T) {
+	w := newWorkload(t, 200)
+	if w.Table.Index().Len() != 200 {
+		t.Fatalf("index holds %d keys", w.Table.Index().Len())
+	}
+	// ~16 tuples per page -> ~13 pages.
+	pages := len(w.Table.Pages())
+	if pages < 12 || pages > 14 {
+		t.Fatalf("loader used %d pages for 200 x 1 KB tuples", pages)
+	}
+}
+
+func TestMixesRun(t *testing.T) {
+	w := newWorkload(t, 100)
+	for _, mix := range []Mix{ReadOnly, Balanced, WriteHeavy} {
+		wk := w.NewWorker(42)
+		if err := wk.Run(mix, 200); err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		if wk.Committed == 0 {
+			t.Fatalf("%s: nothing committed", mix.Name)
+		}
+		if wk.Ctx().Clock.Now() == 0 {
+			t.Fatalf("%s: virtual time did not advance", mix.Name)
+		}
+	}
+}
+
+func TestReadOnlyNeverWrites(t *testing.T) {
+	w := newWorkload(t, 100)
+	wk := w.NewWorker(7)
+	if err := wk.Run(ReadOnly, 300); err != nil {
+		t.Fatal(err)
+	}
+	commits, _ := w.DB.TxnStats()
+	if commits != wk.Committed {
+		t.Fatalf("engine commits %d != worker commits %d", commits, wk.Committed)
+	}
+	// No tuple was updated, so no MVTO conflicts are possible.
+	if wk.Aborted != 0 {
+		t.Fatalf("read-only mix aborted %d times", wk.Aborted)
+	}
+}
+
+func TestConcurrentWorkers(t *testing.T) {
+	w := newWorkload(t, 128)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	wks := make([]*Worker, workers)
+	for i := 0; i < workers; i++ {
+		wks[i] = w.NewWorker(uint64(i) + 1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = wks[i].Run(Balanced, 200)
+		}(i)
+	}
+	wg.Wait()
+	var committed int64
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		committed += wks[i].Committed
+	}
+	if committed == 0 {
+		t.Fatal("no worker committed anything")
+	}
+}
+
+func TestRecordsForBytes(t *testing.T) {
+	if n := RecordsForBytes(1 << 20); n < 1000 || n > 1100 {
+		t.Fatalf("1 MB -> %d records, want ~1032", n)
+	}
+	if n := RecordsForBytes(1); n != 1 {
+		t.Fatalf("tiny size -> %d records", n)
+	}
+}
+
+func TestDeterministicFill(t *testing.T) {
+	a, b := make([]byte, TupleSize), make([]byte, TupleSize)
+	fill(a, 99, 1)
+	fill(b, 99, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fill not deterministic")
+		}
+	}
+	fill(b, 99, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different versions produced identical tuples")
+	}
+}

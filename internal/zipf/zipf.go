@@ -1,0 +1,104 @@
+// Package zipf implements the Zipfian key generator of Gray et al.,
+// "Quickly Generating Billion-Record Synthetic Databases" (SIGMOD '94),
+// which the YCSB workloads in the paper use for key selection.
+//
+// Unlike math/rand's Zipf (which requires s > 1), this generator supports
+// the 0 < theta < 1 skews used in the paper (z = 0.3 and z = 0.5).
+package zipf
+
+import "math"
+
+// Generator produces values in [0, n) with Zipfian skew theta. theta = 0 is
+// uniform; larger theta is more skewed. It is not safe for concurrent use;
+// give each worker its own Generator seeded distinctly.
+type Generator struct {
+	n     uint64
+	theta float64
+
+	alpha, zetan, eta float64
+	zeta2             float64
+
+	rng *Rand
+}
+
+// NewGenerator creates a generator over [0, n) with the given skew,
+// using the supplied pseudo-random source.
+func NewGenerator(n uint64, theta float64, rng *Rand) *Generator {
+	if n == 0 {
+		panic("zipf: n must be positive")
+	}
+	g := &Generator{n: n, theta: theta, rng: rng}
+	g.zeta2 = zeta(2, theta)
+	g.zetan = zeta(n, theta)
+	g.alpha = 1.0 / (1.0 - theta)
+	g.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - g.zeta2/g.zetan)
+	return g
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// For the n used by experiments (≤ a few hundred thousand keys) the direct
+// sum is fast enough and exact.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// N returns the size of the key space.
+func (g *Generator) N() uint64 { return g.n }
+
+// Next returns the next Zipfian-distributed value in [0, n). Rank 0 is the
+// hottest key.
+func (g *Generator) Next() uint64 {
+	if g.theta == 0 {
+		return g.rng.Uint64n(g.n)
+	}
+	u := g.rng.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	return uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+}
+
+// Rand is a small, fast SplitMix64 PRNG. Each worker owns one, which keeps
+// workload generation allocation-free and deterministic per seed.
+type Rand struct{ state uint64 }
+
+// NewRand returns a PRNG seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed + 0x9E3779B97F4A7C15} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a pseudo-random value in [0, n).
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("zipf: Uint64n with n == 0")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a pseudo-random value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("zipf: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}

@@ -1,0 +1,92 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRangeAndDeterminism(t *testing.T) {
+	g1 := NewGenerator(1000, 0.5, NewRand(42))
+	g2 := NewGenerator(1000, 0.5, NewRand(42))
+	for i := 0; i < 10_000; i++ {
+		v1, v2 := g1.Next(), g2.Next()
+		if v1 != v2 {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, v1, v2)
+		}
+		if v1 >= 1000 {
+			t.Fatalf("value %d out of range", v1)
+		}
+	}
+}
+
+func TestSkewConcentratesMass(t *testing.T) {
+	// With theta = 0.99 the hottest 10% of keys should receive far more
+	// than 10% of draws; with theta = 0 they should receive about 10%.
+	frac := func(theta float64) float64 {
+		g := NewGenerator(1000, theta, NewRand(7))
+		hot := 0
+		const draws = 50_000
+		for i := 0; i < draws; i++ {
+			if g.Next() < 100 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	if f := frac(0); math.Abs(f-0.1) > 0.02 {
+		t.Fatalf("uniform hot fraction = %v, want ~0.1", f)
+	}
+	if f := frac(0.99); f < 0.5 {
+		t.Fatalf("skewed hot fraction = %v, want > 0.5", f)
+	}
+	// The paper's z = 0.3 workload is mildly skewed.
+	f03 := frac(0.3)
+	if f03 < 0.12 || f03 > 0.5 {
+		t.Fatalf("z=0.3 hot fraction = %v, out of plausible band", f03)
+	}
+}
+
+func TestRankZeroIsHottest(t *testing.T) {
+	g := NewGenerator(100, 0.9, NewRand(3))
+	counts := make([]int, 100)
+	for i := 0; i < 100_000; i++ {
+		counts[g.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 drawn %d times, rank 50 %d times", counts[0], counts[50])
+	}
+}
+
+func TestZeroNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGenerator(0, ...) did not panic")
+		}
+	}()
+	NewGenerator(0, 0.5, NewRand(1))
+}
+
+func TestRandFloat64InUnitInterval(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(5)
+	buckets := make([]int, 10)
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for b, n := range buckets {
+		got := float64(n) / draws
+		if math.Abs(got-0.1) > 0.01 {
+			t.Fatalf("bucket %d frequency %v, want ~0.1", b, got)
+		}
+	}
+}

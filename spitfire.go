@@ -1,0 +1,211 @@
+// Package spitfire is a Go implementation of Spitfire, the multi-threaded
+// three-tier buffer manager for volatile and non-volatile memory of
+// Zhou, Arulraj, Pavlo and Cohen (SIGMOD 2021), together with every
+// substrate its evaluation depends on: calibrated device simulators for
+// DRAM, Optane DC PMMs and SSD; a probabilistic data-migration policy
+// ⟨Dr, Dw, Nr, Nw⟩ with HyMem's admission queue, cache-line-grained loading
+// and mini pages; a simulated-annealing policy tuner; NVM-aware write-ahead
+// logging and recovery; MVTO transactions; a latch-free-read B+Tree; and
+// the YCSB and TPC-C workloads.
+//
+// The quickest way in:
+//
+//	bm, err := spitfire.New(spitfire.Config{
+//		DRAMBytes: 64 << 20,
+//		NVMBytes:  256 << 20,
+//		Policy:    spitfire.SpitfireLazy,
+//	})
+//	ctx := spitfire.NewCtx(1)
+//	pid, h, _ := bm.NewPage(ctx)
+//	h.WriteAt(ctx, 0, []byte("hello"))
+//	h.Release()
+//
+// Time in this package is *simulated*: device accesses charge calibrated
+// nanosecond costs (Table 1 of the paper) to per-worker virtual clocks, so
+// measured throughput reflects the modeled storage hierarchy rather than
+// the host machine. See DESIGN.md for the calibration and substitution
+// notes, and cmd/spitfire-bench for the reproduced evaluation.
+package spitfire
+
+import (
+	"github.com/spitfire-db/spitfire/internal/anneal"
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/device"
+	"github.com/spitfire-db/spitfire/internal/engine"
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/policy"
+	"github.com/spitfire-db/spitfire/internal/ssd"
+	"github.com/spitfire-db/spitfire/internal/vclock"
+	"github.com/spitfire-db/spitfire/internal/wal"
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+// PageSize is the database page size (16 KB).
+const PageSize = core.PageSize
+
+// Buffer manager core.
+type (
+	// BufferManager is the three-tier buffer manager (§5 of the paper).
+	BufferManager = core.BufferManager
+	// Config configures a BufferManager.
+	Config = core.Config
+	// Ctx carries a worker's virtual clock and PRNG through operations.
+	Ctx = core.Ctx
+	// Handle is a pinned reference to a buffered page.
+	Handle = core.Handle
+	// PageID identifies a logical page.
+	PageID = core.PageID
+	// Intent declares whether a fetch will read or write.
+	Intent = core.Intent
+	// Tier reports where a pinned copy resides.
+	Tier = core.Tier
+	// Stats snapshots buffer-manager counters.
+	Stats = core.Stats
+	// MemCharger prices DRAM-buffer traffic (used by memory-mode setups).
+	MemCharger = core.MemCharger
+)
+
+// Fetch intents and tiers.
+const (
+	ReadIntent  = core.ReadIntent
+	WriteIntent = core.WriteIntent
+
+	TierDRAM = core.TierDRAM
+	TierMini = core.TierMini
+	TierNVM  = core.TierNVM
+)
+
+// New creates a buffer manager.
+func New(cfg Config) (*BufferManager, error) { return core.New(cfg) }
+
+// Recover rebuilds a buffer manager over a surviving NVM arena (§5.2).
+func Recover(cfg Config) (*BufferManager, error) { return core.Recover(cfg) }
+
+// NewCtx creates a worker context with a fresh virtual clock.
+func NewCtx(seed uint64) *Ctx { return core.NewCtx(seed) }
+
+// Migration policies (§3).
+type (
+	// Policy is the migration-policy tuple ⟨Dr, Dw, Nr, Nw⟩.
+	Policy = policy.Policy
+	// NwMode selects probabilistic vs admission-queue NVM admission.
+	NwMode = policy.NwMode
+)
+
+// Table 3 policy presets and modes.
+var (
+	Hymem         = policy.Hymem
+	SpitfireEager = policy.SpitfireEager
+	SpitfireLazy  = policy.SpitfireLazy
+)
+
+// NVM admission modes.
+const (
+	NwProbabilistic  = policy.NwProbabilistic
+	NwAdmissionQueue = policy.NwAdmissionQueue
+)
+
+// Devices and media (Table 1).
+type (
+	// Device simulates one storage device's latency/bandwidth/price.
+	Device = device.Device
+	// DeviceParams are a device's characteristics.
+	DeviceParams = device.Params
+	// PMem is a simulated persistent-memory arena (clwb/sfence semantics).
+	PMem = pmem.PMem
+	// PMemOptions configures a PMem arena.
+	PMemOptions = pmem.Options
+	// SSDStore is the page-granular block device interface.
+	SSDStore = ssd.Store
+	// Clock is a per-worker virtual clock (simulated nanoseconds).
+	Clock = vclock.Clock
+	// Rand is the worker-local PRNG used for policy trials and workloads.
+	Rand = zipf.Rand
+)
+
+// Calibrated device parameter presets.
+var (
+	DRAMParams = device.DRAMParams
+	NVMParams  = device.NVMParams
+	SSDParams  = device.SSDParams
+)
+
+// NewDevice creates a simulated device.
+func NewDevice(p DeviceParams) *Device { return device.New(p) }
+
+// NewPMem creates a persistent-memory arena.
+func NewPMem(opts PMemOptions) *PMem { return pmem.New(opts) }
+
+// NewMemSSD creates an in-memory SSD (nil device = Table 1 SSD parameters).
+func NewMemSSD(dev *Device) *ssd.MemStore { return ssd.NewMem(dev) }
+
+// NewFileSSD creates a file-backed SSD.
+func NewFileSSD(path string, dev *Device) (*ssd.FileStore, error) {
+	return ssd.NewFile(path, dev)
+}
+
+// Adaptive tuning (§4).
+type (
+	// Tuner runs the simulated-annealing policy search.
+	Tuner = anneal.Tuner
+	// TunerOptions configures a Tuner.
+	TunerOptions = anneal.Options
+)
+
+// NewTuner creates a policy tuner.
+func NewTuner(opts TunerOptions) *Tuner { return anneal.New(opts) }
+
+// WearAwareCost extends the tuner's cost function with an NVM-endurance
+// penalty (cost = γ/T + λ·W/T); see Tuner.ObserveWear.
+type WearAwareCost = anneal.WearAwareCost
+
+// Storage engine, transactions, logging (§5.2).
+type (
+	// DB is the storage engine: heap tables + MVTO + WAL over the buffer
+	// manager.
+	DB = engine.DB
+	// DBOptions configures a DB.
+	DBOptions = engine.Options
+	// Table is a heap table with a B+Tree primary index.
+	EngineTable = engine.Table
+	// Txn is an MVTO transaction.
+	Txn = engine.Txn
+	// WAL is the NVM-aware write-ahead log manager.
+	WAL = wal.Manager
+	// WALOptions configures a WAL.
+	WALOptions = wal.Options
+	// LogRecord is one WAL record.
+	LogRecord = wal.Record
+	// TableDef declares a table schema for recovery.
+	TableDef = engine.TableDef
+	// RecoverOptions configures full database recovery.
+	RecoverOptions = engine.RecoverOptions
+)
+
+// Engine errors.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = engine.ErrNotFound
+	// ErrConflict aborts a transaction that lost an MVTO race.
+	ErrConflict = engine.ErrConflict
+)
+
+// OpenDB opens a storage engine over a buffer manager.
+func OpenDB(opts DBOptions) (*DB, error) { return engine.Open(opts) }
+
+// NewWAL creates a write-ahead log manager.
+func NewWAL(opts WALOptions) (*WAL, error) { return wal.New(opts) }
+
+// NewMemLog creates an in-memory SSD log store.
+func NewMemLog(dev *Device) *wal.MemLog { return wal.NewMemLog(dev) }
+
+// NewFileLog creates a file-backed SSD log store.
+func NewFileLog(path string, dev *Device) (*wal.FileLog, error) {
+	return wal.NewFileLog(path, dev)
+}
+
+// RecoverDB recovers a database after a crash: pass a buffer manager
+// already rebuilt with Recover, the surviving WAL options, and the schema.
+func RecoverDB(ctx *Ctx, opts RecoverOptions) (*DB, *wal.RecoveredLog, error) {
+	return engine.Recover(ctx, opts)
+}

@@ -1,0 +1,254 @@
+// Black-box tests of the public API: everything a downstream user would do
+// through the facade, exercised end to end.
+package spitfire_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	spitfire "github.com/spitfire-db/spitfire"
+)
+
+func TestPublicBufferManagerLifecycle(t *testing.T) {
+	bm, err := spitfire.New(spitfire.Config{
+		DRAMBytes: 4 * spitfire.PageSize,
+		NVMBytes:  16 * spitfire.PageSize,
+		Policy:    spitfire.SpitfireLazy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := spitfire.NewCtx(1)
+
+	pid, h, err := bm.NewPage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("public API round trip")
+	if err := h.WriteAt(ctx, 64, want); err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+
+	h, err = bm.FetchPage(ctx, pid, spitfire.ReadIntent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := h.ReadAt(ctx, 64, got); err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+	if ctx.Clock.Now() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestPublicPolicyPresets(t *testing.T) {
+	if spitfire.SpitfireLazy.Dr != 0.01 || spitfire.SpitfireLazy.Nr != 0.2 {
+		t.Fatalf("SpitfireLazy = %v", spitfire.SpitfireLazy)
+	}
+	if spitfire.Hymem.NwMode != spitfire.NwAdmissionQueue {
+		t.Fatal("Hymem preset lost its admission queue")
+	}
+	if err := (spitfire.Policy{Dr: 2}).Validate(); err == nil {
+		t.Fatal("invalid policy validated")
+	}
+}
+
+func TestPublicEngineTransaction(t *testing.T) {
+	bm, err := spitfire.New(spitfire.Config{
+		DRAMBytes: 8 * spitfire.PageSize,
+		NVMBytes:  16 * spitfire.PageSize,
+		Policy:    spitfire.SpitfireLazy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := spitfire.NewWAL(spitfire.WALOptions{
+		Buffer: spitfire.NewPMem(spitfire.PMemOptions{Size: 1 << 17}),
+		Store:  spitfire.NewMemLog(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := spitfire.OpenDB(spitfire.DBOptions{BM: bm, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(1, "t", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := spitfire.NewCtx(2)
+	txn := db.Begin()
+	payload := make([]byte, 128)
+	copy(payload, "row one")
+	if err := tb.Insert(ctx, txn, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	check := db.Begin()
+	got := make([]byte, 128)
+	if err := tb.Read(ctx, check, 1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("engine round trip failed")
+	}
+	if err := tb.Read(ctx, check, 99, got); !errors.Is(err, spitfire.ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := check.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTunerRoundTrip(t *testing.T) {
+	tn := spitfire.NewTuner(spitfire.TunerOptions{
+		Initial: spitfire.SpitfireEager, Seed: 3, LockstepD: true, LockstepN: true,
+	})
+	p := tn.Propose()
+	for i := 0; i < 30; i++ {
+		// Prefer lazy D.
+		p = tn.Observe(1e6 * (1.5 - p.Dr))
+	}
+	if best := tn.Best(); best.Dr > 0.5 {
+		t.Fatalf("tuner best %v did not move toward lazy D", best)
+	}
+	// Wear-aware variant is callable through the facade.
+	cost := spitfire.WearAwareCost{Lambda: 0.1}
+	_ = tn.ObserveWear(cost, 1e6, 1e8)
+}
+
+func TestPublicDeviceAndPMem(t *testing.T) {
+	dev := spitfire.NewDevice(spitfire.NVMParams)
+	pm := spitfire.NewPMem(spitfire.PMemOptions{Size: 4096, Device: dev, TrackCrashes: true})
+	ctx := spitfire.NewCtx(4)
+	pm.Write(ctx.Clock, 0, []byte("persist me"))
+	pm.Persist(ctx.Clock, 0, 10)
+	pm.Write(ctx.Clock, 128, []byte("lose me"))
+	pm.Crash()
+	got := make([]byte, 10)
+	pm.Read(ctx.Clock, 0, got)
+	if string(got) != "persist me" {
+		t.Fatalf("persisted data lost: %q", got)
+	}
+	if dev.Stats().WriteOps == 0 {
+		t.Fatal("device saw no traffic")
+	}
+}
+
+func TestPublicCrashRecovery(t *testing.T) {
+	data := spitfire.NewPMem(spitfire.PMemOptions{
+		Size: 16 * (spitfire.PageSize + 64), TrackCrashes: true,
+	})
+	logs := spitfire.NewPMem(spitfire.PMemOptions{Size: 1 << 17, TrackCrashes: true})
+	disk := spitfire.NewMemSSD(nil)
+	store := spitfire.NewMemLog(nil)
+
+	cfg := spitfire.Config{
+		DRAMBytes: 4 * spitfire.PageSize,
+		NVMBytes:  data.Size(),
+		Policy:    spitfire.SpitfireLazy,
+		PMem:      data,
+		SSD:       disk,
+	}
+	bm, err := spitfire.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := spitfire.NewWAL(spitfire.WALOptions{Buffer: logs, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := spitfire.OpenDB(spitfire.DBOptions{BM: bm, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(7, "t", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := spitfire.NewCtx(5)
+	if err := tb.Load(ctx, 4, func(i uint64, p []byte) uint64 { p[0] = 1; return i }); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin()
+	up := make([]byte, 64)
+	up[0] = 9
+	if err := tb.Update(ctx, txn, 2, up); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	data.Crash()
+	logs.Crash()
+
+	bm2, err := spitfire.Recover(spitfire.Config{
+		DRAMBytes: cfg.DRAMBytes, NVMBytes: cfg.NVMBytes,
+		Policy: cfg.Policy, PMem: data, SSD: disk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := spitfire.NewCtx(6)
+	db2, rl, err := spitfire.RecoverDB(rctx, spitfire.RecoverOptions{
+		BM:     bm2,
+		WAL:    spitfire.WALOptions{Buffer: logs, Store: store},
+		Schema: []spitfire.TableDef{{ID: 7, Name: "t", TupleSize: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rl.Committed) != 1 {
+		t.Fatalf("recovered %d committed txns, want 1", len(rl.Committed))
+	}
+	check := db2.Begin()
+	got := make([]byte, 64)
+	if err := db2.Table(7).Read(rctx, check, 2, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatalf("committed update lost across public-API recovery: %d", got[0])
+	}
+	if err := check.Commit(rctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFileBackedStores(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := spitfire.NewFileSSD(dir+"/pages.db", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	fl, err := spitfire.NewFileLog(dir+"/wal.log", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	ctx := spitfire.NewCtx(7)
+	page := make([]byte, spitfire.PageSize)
+	page[0] = 0x77
+	if err := fs.WritePage(ctx.Clock, 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Append(ctx.Clock, []byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := fl.ReadAll(ctx.Clock)
+	if err != nil || string(raw) != "rec" {
+		t.Fatalf("file log round trip: %q, %v", raw, err)
+	}
+}
