@@ -12,6 +12,10 @@
 //
 // -quick shrinks database/buffer sizes by 4x (preserving every capacity
 // ratio) and reduces operation counts, for fast sanity runs.
+//
+// Beyond the paper, extra-wear sweeps the wear-aware tuner and
+// extra-cleaner sweeps the background page cleaner's watermark/batch
+// settings (see DESIGN.md §5-bis).
 package main
 
 import (

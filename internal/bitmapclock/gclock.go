@@ -92,18 +92,63 @@ func (c *GClock) Unref(i int) {
 // Referenced reports whether frame i's counter is non-zero.
 func (c *GClock) Referenced(i int) bool { return c.get(i) != 0 }
 
-// Victim sweeps the hand, decrementing counters, until it finds a frame at
-// zero. It gives up after weight+1 full sweeps and returns the frame under
-// the hand, so it always terminates under concurrent Refs.
+// Victim sweeps the hand until it finds a frame whose counter is zero,
+// decrementing counters along the way.
+//
+// A naive sweep decrements by one per visit, so with every counter charged
+// to a high weight w it degenerates into w full rotations of CAS traffic
+// before anything reaches zero. Instead, each rotation tracks the minimum
+// counter it observed and the next rotation decrements by (that minimum
+// minus what was already subtracted), so the coldest frame reaches zero
+// within two rotations regardless of the weight, while the relative order
+// of hotter frames is preserved (everyone loses the same amount per
+// rotation). A rotation cap keeps the sweep terminating under concurrent
+// Refs, falling back to the frame under the hand.
 func (c *GClock) Victim() int {
-	limit := (int(c.weight) + 1) * c.n
-	for i := 0; i < limit; i++ {
-		h := int(c.hand.Add(1)-1) % c.n
-		cur := c.get(h)
-		if cur == 0 {
-			return h
+	n := c.n
+	step := uint8(1)
+	for sweep := 0; sweep < 4; sweep++ {
+		min := uint8(255)
+		for i := 0; i < n; i++ {
+			h := int(c.hand.Add(1)-1) % n
+			cur := c.get(h)
+			if cur == 0 {
+				return h
+			}
+			if cur < min {
+				min = cur
+			}
+			c.sub(h, step)
 		}
-		c.cas(h, cur, cur-1) // lost races just mean someone else decremented
+		// No zero found in a full rotation: the coldest frame observed held
+		// `min` and has since lost `step`, so a decrement of min-step zeroes
+		// it on the next pass.
+		if min > step {
+			step = min - step
+		} else {
+			step = 1
+		}
 	}
 	return int(c.hand.Add(1)-1) % c.n
+}
+
+// sub decrements counter i by d, saturating at zero.
+func (c *GClock) sub(i int, d uint8) {
+	word := &c.words[i>>3]
+	shift := uint(i&7) * 8
+	for {
+		w := word.Load()
+		cur := uint8(w >> shift)
+		if cur == 0 {
+			return
+		}
+		nv := uint8(0)
+		if cur > d {
+			nv = cur - d
+		}
+		nw := (w &^ (uint64(0xFF) << shift)) | uint64(nv)<<shift
+		if word.CompareAndSwap(w, nw) {
+			return
+		}
+	}
 }

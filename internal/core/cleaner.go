@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// CleanerConfig configures the background page-cleaning / free-list
+// replenishment subsystem (DESIGN.md §5-bis).
+//
+// A per-pool cleaner goroutine (one for DRAM, one for NVM) keeps each pool's
+// free list stocked between a low and a high free-frame watermark: it
+// pre-selects CLOCK victims in batches, migrates dirty victims down-tier off
+// the critical path, and pushes the frozen, clean frames onto the free list.
+// A buffer miss then allocates with a near-lock-free free-list pop instead
+// of an inline evict-and-write-back. Device latency and bandwidth for
+// cleaner traffic are charged to the cleaner's own virtual clock, so the
+// shared-bandwidth device model still sees every byte it moves.
+//
+// The zero value leaves the cleaner DISABLED: core-level users (tests, the
+// experiment harness) stay deterministic in simulated time. The spitfire
+// facade enables it by default; set Disable there to keep paper-fidelity
+// behavior.
+type CleanerConfig struct {
+	// Enable starts the cleaner goroutines. Takes precedence over Disable.
+	Enable bool
+
+	// Disable is consumed by the spitfire facade, whose default is
+	// cleaner-on: New/Recover enable the cleaner unless Disable is set.
+	// core.New itself only reads Enable.
+	Disable bool
+
+	// LowWater and HighWater are free-frame watermarks in frames. The
+	// cleaner starts replenishing when a pool's free list drops below
+	// LowWater and works until it reaches HighWater. Zero values default to
+	// 1/8 and 1/4 of the pool (minimums 1 and 2), clamped to the pool size.
+	LowWater, HighWater int
+
+	// BatchSize bounds how many frames the cleaner reclaims between
+	// watermark re-checks (default 8).
+	BatchSize int
+
+	// Interval is the idle poll period of a cleaner goroutine (default
+	// 200µs). Foreground allocators also kick the cleaner directly when a
+	// free list runs empty, so the interval only bounds how stale the
+	// watermark check can get on an otherwise idle pool.
+	Interval time.Duration
+}
+
+// validate rejects explicitly inconsistent watermarks.
+func (c CleanerConfig) validate() error {
+	if c.Enable && c.LowWater > 0 && c.HighWater > 0 && c.HighWater <= c.LowWater {
+		return fmt.Errorf("core: cleaner HighWater %d must exceed LowWater %d", c.HighWater, c.LowWater)
+	}
+	return nil
+}
+
+// watermarks resolves the configured watermarks against a pool's size.
+func (c CleanerConfig) watermarks(nFrames int) (low, high int) {
+	low = c.LowWater
+	if low <= 0 {
+		low = nFrames / 8
+	}
+	if low < 1 {
+		low = 1
+	}
+	high = c.HighWater
+	if high <= 0 {
+		high = nFrames / 4
+	}
+	if high <= low {
+		high = low + 1
+	}
+	if high > nFrames {
+		high = nFrames
+	}
+	if low >= high {
+		low = high - 1
+	}
+	if low < 1 {
+		low = 1
+	}
+	return low, high
+}
+
+// cleanerTier selects which pool a cleaner serves.
+type cleanerTier int
+
+const (
+	cleanDRAM cleanerTier = iota
+	cleanNVM
+)
+
+// cleaner is one pool's background page cleaner.
+type cleaner struct {
+	bm   *BufferManager
+	tier cleanerTier
+	pool *basePool
+
+	low, high int
+	batch     int
+	interval  time.Duration
+
+	// ctx is the cleaner's private worker context: all device costs of
+	// pre-cleaning are charged to this clock, which shares every device's
+	// bandwidth horizon with the foreground workers.
+	ctx *Ctx
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startCleaners launches the per-pool cleaner goroutines if the manager's
+// cleaner config enables them. Recovery calls it after the arena scan so the
+// cleaners never race the free-list rebuild.
+func (bm *BufferManager) startCleaners() {
+	cc := bm.cfg.Cleaner
+	if !cc.Enable {
+		return
+	}
+	if bm.dram != nil {
+		bm.dramCleaner = newCleaner(bm, cleanDRAM, &bm.dram.basePool, cc, 0xD7A3C1EA)
+	}
+	if bm.nvm != nil {
+		bm.nvmCleaner = newCleaner(bm, cleanNVM, &bm.nvm.basePool, cc, 0x4E7EC1EA)
+	}
+}
+
+func newCleaner(bm *BufferManager, tier cleanerTier, pool *basePool, cc CleanerConfig, seed uint64) *cleaner {
+	low, high := cc.watermarks(pool.nFrames)
+	batch := cc.BatchSize
+	if batch <= 0 {
+		batch = 8
+	}
+	interval := cc.Interval
+	if interval <= 0 {
+		interval = 200 * time.Microsecond
+	}
+	c := &cleaner{
+		bm: bm, tier: tier, pool: pool,
+		low: low, high: high, batch: batch, interval: interval,
+		ctx:  NewCtx(seed),
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// wake nudges the cleaner without blocking; allocators call it when a free
+// list runs low or empty.
+func (c *cleaner) wake() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// close stops the cleaner and waits for its goroutine to exit.
+func (c *cleaner) close() {
+	close(c.stop)
+	<-c.done
+}
+
+func (c *cleaner) freeCount() int { return len(c.pool.free) }
+
+func (c *cleaner) run() {
+	defer close(c.done)
+	tick := time.NewTicker(c.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.kick:
+		case <-tick.C:
+			if c.freeCount() >= c.low {
+				continue // above the low watermark: stay idle
+			}
+		}
+		c.replenish()
+	}
+}
+
+// replenish reclaims frames in batches until the free list reaches the high
+// watermark. It gives up (counting a stall) when a full batch of victim
+// attempts makes no progress — every frame pinned or under migration — and
+// leaves the foreground fallback path to cover the pool until pins drain.
+func (c *cleaner) replenish() {
+	st := &c.bm.stats
+	for c.freeCount() < c.high {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		produced := 0
+		attempts := c.batch*2 + c.pool.nFrames
+		for produced < c.batch && attempts > 0 && c.freeCount() < c.high {
+			attempts--
+			if c.reclaimOne() {
+				produced++
+			}
+		}
+		if produced == 0 {
+			st.cleanerStalls.Inc()
+			return
+		}
+		st.cleanerBatches.Inc()
+	}
+}
+
+// reclaimOne freezes one CLOCK victim, pre-cleans it (migrating its page
+// down-tier exactly as a foreground eviction would, charged to the cleaner's
+// clock), and pushes the frozen clean frame onto the pool's free list.
+func (c *cleaner) reclaimOne() bool {
+	p := c.pool
+	v := int32(p.clock.Victim())
+	m := &p.meta[v]
+	if !m.tryFreeze() {
+		return false
+	}
+	if m.pid.Load() != InvalidPageID {
+		var ok bool
+		switch c.tier {
+		case cleanDRAM:
+			ok = c.bm.evictDRAMFrame(c.ctx, v)
+		case cleanNVM:
+			ok = c.bm.evictNVMFrame(c.ctx, v)
+		}
+		if !ok {
+			return false // evict thawed the frame on failure
+		}
+		switch c.tier {
+		case cleanDRAM:
+			c.bm.stats.cleanerCleanedDRAM.Inc()
+		case cleanNVM:
+			c.bm.stats.cleanerCleanedNVM.Inc()
+		}
+	}
+	// The frame is frozen, clean and unlinked from its descriptor; release
+	// re-marks it free and pushes it onto the free list.
+	p.release(v)
+	return true
+}
+
+// Close stops the background cleaners (if any). The manager remains usable:
+// allocation falls back to inline eviction, exactly as with the cleaner
+// disabled. Close is idempotent and safe to call concurrently.
+func (bm *BufferManager) Close() {
+	bm.closeOnce.Do(func() {
+		if bm.dramCleaner != nil {
+			bm.dramCleaner.close()
+		}
+		if bm.nvmCleaner != nil {
+			bm.nvmCleaner.close()
+		}
+	})
+}

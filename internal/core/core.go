@@ -32,6 +32,7 @@ import (
 	"github.com/spitfire-db/spitfire/internal/ssd"
 	"github.com/spitfire-db/spitfire/internal/vclock"
 	"github.com/spitfire-db/spitfire/internal/zipf"
+	"sync"
 	"sync/atomic"
 )
 
@@ -142,6 +143,11 @@ type Config struct {
 	// GCLOCK counters, letting hot frames survive that many sweeps.
 	ClockWeight int
 
+	// Cleaner configures the background page cleaner (DESIGN.md §5-bis).
+	// The zero value disables it, keeping core-level simulated-time results
+	// deterministic; the spitfire facade enables it by default.
+	Cleaner CleanerConfig
+
 	// SSD is the backing store. Defaults to a fresh in-memory store with
 	// Table 1 SSD parameters.
 	SSD ssd.Store
@@ -186,6 +192,10 @@ type BufferManager struct {
 	pol      atomic.Pointer[policy.Policy]
 	admQueue *admission.Queue // nil unless NwMode == NwAdmissionQueue
 
+	dramCleaner *cleaner // nil unless the cleaner is enabled
+	nvmCleaner  *cleaner
+	closeOnce   sync.Once
+
 	nextPID atomic.Uint64
 
 	stats bmStats
@@ -213,6 +223,9 @@ func New(cfg Config) (*BufferManager, error) {
 	}
 	if cfg.SSD == nil {
 		cfg.SSD = ssd.NewMem(nil)
+	}
+	if err := cfg.Cleaner.validate(); err != nil {
+		return nil, err
 	}
 
 	bm := &BufferManager{cfg: cfg, disk: cfg.SSD}
@@ -245,6 +258,7 @@ func New(cfg Config) (*BufferManager, error) {
 			bm.admQueue = admission.New(cap)
 		}
 	}
+	bm.startCleaners()
 	return bm, nil
 }
 

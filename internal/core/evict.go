@@ -34,10 +34,18 @@ func allocExpired(i int, start *time.Time) bool {
 }
 
 // alloc returns a frozen, clean DRAM frame, evicting a victim if the free
-// list is empty.
+// list is empty. With the background cleaner enabled the common case is a
+// free-list pop; the inline eviction loop below is the fallback when the
+// cleaner cannot keep up.
 func (p *dramPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 	if f, ok := p.takeFree(); ok {
+		if cl := bm.dramCleaner; cl != nil && len(p.free) < cl.low {
+			cl.wake()
+		}
 		return f, nil
+	}
+	if cl := bm.dramCleaner; cl != nil {
+		cl.wake()
 	}
 	var searchStart time.Time
 	for i := 0; ; i++ {
@@ -58,6 +66,7 @@ func (p *dramPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 			return v, nil
 		}
 		if bm.evictDRAMFrame(ctx, v) {
+			bm.stats.fgEvicts.Inc()
 			return v, nil
 		}
 	}
@@ -354,10 +363,18 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) bool {
 // caller revalidates under fg.mu).
 func (fg *fgState) slotDirtyAny() bool { return fg.slotDirty != 0 }
 
-// alloc returns a frozen, clean NVM frame, evicting a victim if needed.
+// alloc returns a frozen, clean NVM frame, evicting a victim if needed. As
+// with the DRAM pool, the cleaner-stocked free list is the fast path and the
+// inline eviction loop the fallback.
 func (np *nvmPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 	if f, ok := np.takeFree(); ok {
+		if cl := bm.nvmCleaner; cl != nil && len(np.free) < cl.low {
+			cl.wake()
+		}
 		return f, nil
+	}
+	if cl := bm.nvmCleaner; cl != nil {
+		cl.wake()
 	}
 	var searchStart time.Time
 	for i := 0; ; i++ {
@@ -376,6 +393,7 @@ func (np *nvmPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 			return v, nil
 		}
 		if bm.evictNVMFrame(ctx, v) {
+			bm.stats.fgEvicts.Inc()
 			return v, nil
 		}
 	}

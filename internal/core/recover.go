@@ -17,6 +17,10 @@ func Recover(cfg Config) (*BufferManager, error) {
 	if cfg.PMem == nil {
 		return nil, errors.New("core: Recover requires the surviving PMem arena")
 	}
+	// Defer cleaner startup until after the scan: the cleaners must not race
+	// the free-list rebuild below.
+	enableCleaner := cfg.Cleaner.Enable
+	cfg.Cleaner.Enable = false
 	bm, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -74,6 +78,10 @@ func Recover(cfg Config) (*BufferManager, error) {
 	}
 	if bm.nextPID.Load() < maxPID {
 		bm.nextPID.Store(maxPID)
+	}
+	if enableCleaner {
+		bm.cfg.Cleaner.Enable = true
+		bm.startCleaners()
 	}
 	return bm, nil
 }

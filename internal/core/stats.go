@@ -12,6 +12,13 @@ type bmStats struct {
 	fgUnitLoads, miniPromotions       metrics.Counter
 	flushedDRAMPages, flushedNVMPages metrics.Counter
 	recoveredNVMPages                 metrics.Counter
+
+	// Background cleaner activity (DESIGN.md §5-bis).
+	cleanerBatches     metrics.Counter
+	cleanerCleanedDRAM metrics.Counter
+	cleanerCleanedNVM  metrics.Counter
+	cleanerStalls      metrics.Counter
+	fgEvicts           metrics.Counter
 }
 
 // Stats is a snapshot of the buffer manager's counters.
@@ -31,6 +38,18 @@ type Stats struct {
 	FlushedDRAMPages               int64
 	FlushedNVMPages                int64
 	RecoveredNVMPages              int64
+
+	// Background cleaner activity. CleanerCleaned* count frames the cleaner
+	// pre-cleaned and pushed onto a free list; ForegroundEvicts counts
+	// allocations that had to evict inline (the fallback path — with the
+	// cleaner keeping up this stays near zero); CleanerStalls counts
+	// replenish passes that made no progress because every victim was
+	// pinned or under migration.
+	CleanerBatches     int64
+	CleanerCleanedDRAM int64
+	CleanerCleanedNVM  int64
+	CleanerStalls      int64
+	ForegroundEvicts   int64
 }
 
 // Stats snapshots the manager's counters.
@@ -46,9 +65,14 @@ func (bm *BufferManager) Stats() Stats {
 		EvictDRAM: s.evictDRAM.Load(), EvictMini: s.evictMini.Load(),
 		EvictNVM:    s.evictNVM.Load(),
 		FGUnitLoads: s.fgUnitLoads.Load(), MiniPromotions: s.miniPromotions.Load(),
-		FlushedDRAMPages:  s.flushedDRAMPages.Load(),
-		FlushedNVMPages:   s.flushedNVMPages.Load(),
-		RecoveredNVMPages: s.recoveredNVMPages.Load(),
+		FlushedDRAMPages:   s.flushedDRAMPages.Load(),
+		FlushedNVMPages:    s.flushedNVMPages.Load(),
+		RecoveredNVMPages:  s.recoveredNVMPages.Load(),
+		CleanerBatches:     s.cleanerBatches.Load(),
+		CleanerCleanedDRAM: s.cleanerCleanedDRAM.Load(),
+		CleanerCleanedNVM:  s.cleanerCleanedNVM.Load(),
+		CleanerStalls:      s.cleanerStalls.Load(),
+		ForegroundEvicts:   s.fgEvicts.Load(),
 	}
 }
 
@@ -62,6 +86,8 @@ func (bm *BufferManager) ResetStats() {
 		&s.evictDRAM, &s.evictMini, &s.evictNVM,
 		&s.fgUnitLoads, &s.miniPromotions,
 		&s.flushedDRAMPages, &s.flushedNVMPages, &s.recoveredNVMPages,
+		&s.cleanerBatches, &s.cleanerCleanedDRAM, &s.cleanerCleanedNVM,
+		&s.cleanerStalls, &s.fgEvicts,
 	} {
 		c.Store(0)
 	}

@@ -95,6 +95,11 @@ type EnvConfig struct {
 
 	// ComputeCost per tuple operation in simulated ns (default 200).
 	ComputeCost int64
+
+	// Cleaner configures the background page cleaner. Paper-shape
+	// experiments leave it zero (disabled) so simulated-time results stay
+	// deterministic; the extra-cleaner sweep turns it on explicitly.
+	Cleaner core.CleanerConfig
 }
 
 // Env is a loaded experimental environment.
@@ -151,6 +156,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		LoadingUnit: cfg.LoadingUnit,
 		MiniPages:   cfg.MiniPages,
 		SSD:         disk,
+		Cleaner:     cfg.Cleaner,
 	}
 	if cfg.NVMBytes > 0 {
 		e.nvmDev = device.New(device.NVMParams)
@@ -220,6 +226,11 @@ func (a memChargerAdapter) ChargeWrite(c *vclock.Clock, off int64, n int) { a.d.
 
 // SetPolicy swaps the migration policy between measured points.
 func (e *Env) SetPolicy(p policy.Policy) error { return e.BM.SetPolicy(p) }
+
+// Close stops the environment's background goroutines (the page cleaners,
+// when enabled). Experiments that enable the cleaner must call it so one
+// point's cleaner never bleeds into the next.
+func (e *Env) Close() { e.BM.Close() }
 
 // deviceSnapshot captures traffic counters for delta measurements.
 type deviceSnapshot struct {

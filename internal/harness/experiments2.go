@@ -402,6 +402,7 @@ func Experiments() []Experiment {
 		{"fig14", "Storage-system design grid search (§6.6)", Fig14},
 		{"fig15", "Database-size sweep over five configurations (§6.7)", single(Fig15)},
 		{"extra-wear", "Wear-aware adaptive tuning, λ sweep (extension beyond the paper)", single(ExtraWear)},
+		{"extra-cleaner", "Background cleaner watermark/batch sweep (extension beyond the paper)", single(ExtraCleaner)},
 	}
 }
 

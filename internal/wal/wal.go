@@ -79,27 +79,30 @@ const recHeaderSize = 8 + 8 + 8 + 1 + 4 + 8 + 2 + 4 + 4 // body header fields
 
 func (r *Record) bodyLen() int { return recHeaderSize + len(r.Before) + len(r.After) }
 
-// encode appends the framed record (length + checksum + body) to dst.
+// encode appends the framed record (length + checksum + body) to dst. It
+// encodes in place with no intermediate buffer, so appending into a slice
+// with enough capacity performs zero allocations (the WAL hot path reuses a
+// per-manager scratch buffer).
 func (r *Record) encode(dst []byte) []byte {
-	body := make([]byte, r.bodyLen())
+	base := len(dst)
 	le := binary.LittleEndian
-	le.PutUint64(body[0:], r.LSN)
-	le.PutUint64(body[8:], r.TxnID)
-	le.PutUint64(body[16:], r.PrevLSN)
-	body[24] = byte(r.Type)
-	le.PutUint32(body[25:], r.TableID)
-	le.PutUint64(body[29:], r.PageID)
-	le.PutUint16(body[37:], r.Slot)
-	le.PutUint32(body[39:], uint32(len(r.Before)))
-	le.PutUint32(body[43:], uint32(len(r.After)))
-	copy(body[recHeaderSize:], r.Before)
-	copy(body[recHeaderSize+len(r.Before):], r.After)
-
 	var frame [8]byte
-	le.PutUint32(frame[0:], uint32(len(body)))
-	le.PutUint32(frame[4:], checksum(body))
-	dst = append(dst, frame[:]...)
-	return append(dst, body...)
+	dst = append(dst, frame[:]...) // length + checksum, patched below
+	dst = le.AppendUint64(dst, r.LSN)
+	dst = le.AppendUint64(dst, r.TxnID)
+	dst = le.AppendUint64(dst, r.PrevLSN)
+	dst = append(dst, byte(r.Type))
+	dst = le.AppendUint32(dst, r.TableID)
+	dst = le.AppendUint64(dst, r.PageID)
+	dst = le.AppendUint16(dst, r.Slot)
+	dst = le.AppendUint32(dst, uint32(len(r.Before)))
+	dst = le.AppendUint32(dst, uint32(len(r.After)))
+	dst = append(dst, r.Before...)
+	dst = append(dst, r.After...)
+	body := dst[base+8:]
+	le.PutUint32(dst[base:], uint32(len(body)))
+	le.PutUint32(dst[base+4:], checksum(body))
+	return dst
 }
 
 // decodeOne parses one framed record from b, returning the record and the
@@ -178,8 +181,9 @@ type Manager struct {
 	store     LogStore
 	threshold int64
 
-	mu     sync.Mutex
-	bufOff int64 // next free byte in the NVM buffer
+	mu      sync.Mutex
+	bufOff  int64  // next free byte in the NVM buffer
+	scratch []byte // record-encoding buffer reused across appends (under mu)
 
 	nextLSN atomic.Uint64
 
@@ -225,11 +229,12 @@ func (m *Manager) persistOffset(c *vclock.Clock) {
 // are appended to the SSD log (the paper does this asynchronously; here the
 // appending worker pays for it, which charges the same total I/O).
 func (m *Manager) Append(c *vclock.Clock, rec *Record) (uint64, error) {
-	frame := rec.encode(nil) // encoded below with LSN patched; see note
 	m.mu.Lock()
 	rec.LSN = m.nextLSN.Add(1) - 1
-	// Re-encode with the real LSN (cheap; records are small).
-	frame = rec.encode(frame[:0])
+	// Encode into the manager's scratch buffer: zero allocations once it
+	// has grown to the steady-state record size.
+	m.scratch = rec.encode(m.scratch[:0])
+	frame := m.scratch
 	if m.bufOff+int64(len(frame)) > m.pm.Size() {
 		if err := m.flushLocked(c); err != nil {
 			m.mu.Unlock()

@@ -63,6 +63,10 @@ type (
 	Stats = core.Stats
 	// MemCharger prices DRAM-buffer traffic (used by memory-mode setups).
 	MemCharger = core.MemCharger
+	// CleanerConfig tunes the background page cleaner (watermarks, batch
+	// size, poll interval). New and Recover enable the cleaner by default;
+	// set CleanerConfig.Disable for paper-fidelity simulated-time runs.
+	CleanerConfig = core.CleanerConfig
 )
 
 // Fetch intents and tiers.
@@ -75,11 +79,29 @@ const (
 	TierNVM  = core.TierNVM
 )
 
-// New creates a buffer manager.
-func New(cfg Config) (*BufferManager, error) { return core.New(cfg) }
+// New creates a buffer manager. Unlike core.New, the facade enables the
+// background page cleaner by default (production posture); set
+// Config.Cleaner.Disable to keep the paper's inline-eviction behavior.
+// Call BufferManager.Close to stop the cleaner goroutines when done.
+func New(cfg Config) (*BufferManager, error) {
+	defaultCleanerOn(&cfg)
+	return core.New(cfg)
+}
 
-// Recover rebuilds a buffer manager over a surviving NVM arena (§5.2).
-func Recover(cfg Config) (*BufferManager, error) { return core.Recover(cfg) }
+// Recover rebuilds a buffer manager over a surviving NVM arena (§5.2). The
+// cleaner default matches New; it starts only after the arena scan.
+func Recover(cfg Config) (*BufferManager, error) {
+	defaultCleanerOn(&cfg)
+	return core.Recover(cfg)
+}
+
+// defaultCleanerOn applies the facade's cleaner-on default: enabled unless
+// the caller explicitly disabled (or already enabled) it.
+func defaultCleanerOn(cfg *Config) {
+	if !cfg.Cleaner.Enable && !cfg.Cleaner.Disable {
+		cfg.Cleaner.Enable = true
+	}
+}
 
 // NewCtx creates a worker context with a fresh virtual clock.
 func NewCtx(seed uint64) *Ctx { return core.NewCtx(seed) }

@@ -191,6 +191,10 @@ func TestPublicCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Stop background cleaners before simulating the crash: a crash kills
+	// the whole process, and a cleaner left running would keep mutating the
+	// arena the recovered manager scans.
+	bm.Close()
 	data.Crash()
 	logs.Crash()
 
