@@ -73,6 +73,9 @@ func main() {
 			runOne(e, opts, *csvDir)
 		}
 		return
+	case "torture":
+		runTorture(args[1:], *seed)
+		return
 	}
 
 	for _, name := range args {
@@ -111,14 +114,70 @@ func runOne(e harness.Experiment, opts harness.Opts, csvDir string) {
 	fmt.Printf("    (%s in %.1fs wall clock)\n\n", e.Name, time.Since(start).Seconds())
 }
 
+// runTorture drives the crash-recovery torture harness (and, with -degraded,
+// the two-tier degradation run) outside the paper's experiment set.
+func runTorture(args []string, seed uint64) {
+	fs := flag.NewFlagSet("torture", flag.ExitOnError)
+	cycles := fs.Int("cycles", 100, "crash-recover cycles")
+	workers := fs.Int("workers", 4, "writer goroutines")
+	keys := fs.Int("keys", 2048, "distinct keys")
+	ops := fs.Int("ops", 150, "updates per worker per cycle")
+	transient := fs.Float64("transient", 0, "transient fault probability on the NVM data arena")
+	degraded := fs.Bool("degraded", false, "also run the permanent-NVM-failure YCSB degradation check")
+	verbose := fs.Bool("v", false, "log per-cycle progress")
+	_ = fs.Parse(args)
+
+	opts := harness.TortureOpts{
+		Cycles: *cycles, Workers: *workers, Keys: *keys,
+		OpsPerCycle: *ops, Seed: seed, TransientProb: *transient,
+	}
+	if *verbose {
+		opts.Log = func(format string, a ...any) {
+			fmt.Printf("  "+format+"\n", a...)
+		}
+	}
+	start := time.Now()
+	res, err := harness.Torture(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spitfire-bench: torture: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("torture: %d crash-recover cycles, %d commits, %d op errors, %d mid-run crashes, %d torn writes (%.1fs wall clock)\n",
+		res.Cycles, res.Commits, res.OpErrors, res.MidRunTrips, res.TornWrites, time.Since(start).Seconds())
+	fmt.Printf("torture: WAL recovery totals: %d buffer + %d file records, %d checksum mismatches, %d truncated-tail bytes, %d duplicate LSNs\n",
+		res.Recovery.BufferRecords, res.Recovery.FileRecords,
+		res.Recovery.ChecksumMismatches, res.Recovery.TruncatedTailBytes, res.Recovery.DuplicateLSNs)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "torture: VIOLATION: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("torture: zero invariant violations")
+
+	if *degraded {
+		dres, err := harness.Degraded(harness.DegradedOpts{Seed: seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spitfire-bench: degraded: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("degraded: NVM tier failed permanently mid-run; %d commits (%d after degradation), %d op errors, %d orphaned pages — completed two-tier\n",
+			dres.Committed, dres.TailCommits, dres.OpErrors, dres.Stats.NVMOrphanedPages)
+	}
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `spitfire-bench regenerates the paper's tables and figures.
 
 usage:
-  spitfire-bench [-quick] [-seed N] [-csv DIR] list | all | verify | <experiment>...
+  spitfire-bench [-quick] [-seed N] [-csv DIR] list | all | verify | torture | <experiment>...
 
 verify runs quick-scale checks of the paper's headline qualitative claims
 and exits non-zero if any fails.
+
+torture runs the crash-recovery torture harness: randomized workloads killed
+at injected crash points, recovered, and checked for lost or torn writes
+(flags: -cycles -workers -keys -ops -transient -degraded -v).
 
 experiments:
 `)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -106,9 +107,10 @@ type cleaner struct {
 	// bandwidth horizon with the foreground workers.
 	ctx *Ctx
 
-	kick chan struct{}
-	stop chan struct{}
-	done chan struct{}
+	kick     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
 // startCleaners launches the per-pool cleaner goroutines if the manager's
@@ -145,6 +147,9 @@ func newCleaner(bm *BufferManager, tier cleanerTier, pool *basePool, cc CleanerC
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	// Mark the context so write-back admission can apply the cleaner bias
+	// (always admit dirty DRAM pages to NVM, skipping the Nw coin).
+	c.ctx.cleaner = true
 	go c.run()
 	return c
 }
@@ -158,9 +163,11 @@ func (c *cleaner) wake() {
 	}
 }
 
-// close stops the cleaner and waits for its goroutine to exit.
+// close stops the cleaner and waits for its goroutine to exit. It is
+// idempotent so Close can race a cleaner that already shut itself down (the
+// NVM cleaner exits on its own when its tier permanently fails).
 func (c *cleaner) close() {
-	close(c.stop)
+	c.stopOnce.Do(func() { close(c.stop) })
 	<-c.done
 }
 
@@ -179,6 +186,11 @@ func (c *cleaner) run() {
 			if c.freeCount() >= c.low {
 				continue // above the low watermark: stay idle
 			}
+		}
+		if c.tier == cleanNVM && c.bm.nvmDown() {
+			// The NVM tier failed permanently: there is nothing left to
+			// clean and nothing will allocate from this pool again.
+			return
 		}
 		c.replenish()
 	}
@@ -224,14 +236,21 @@ func (c *cleaner) reclaimOne() bool {
 	}
 	if m.pid.Load() != InvalidPageID {
 		var ok bool
+		var err error
 		switch c.tier {
 		case cleanDRAM:
-			ok = c.bm.evictDRAMFrame(c.ctx, v)
+			ok, err = c.bm.evictDRAMFrame(c.ctx, v)
 		case cleanNVM:
-			ok = c.bm.evictNVMFrame(c.ctx, v)
+			ok, err = c.bm.evictNVMFrame(c.ctx, v)
 		}
 		if !ok {
-			return false // evict thawed the frame on failure
+			// The evict thawed the frame. An I/O error (err != nil) already
+			// exhausted its retries and, if permanent, degraded the tier;
+			// replenish's no-progress bailout keeps a failing device from
+			// spinning the cleaner, and allocation falls back to foreground
+			// eviction where the error surfaces to the caller.
+			_ = err
+			return false
 		}
 		switch c.tier {
 		case cleanDRAM:
@@ -248,8 +267,13 @@ func (c *cleaner) reclaimOne() bool {
 
 // Close stops the background cleaners (if any). The manager remains usable:
 // allocation falls back to inline eviction, exactly as with the cleaner
-// disabled. Close is idempotent and safe to call concurrently.
+// disabled. Close is idempotent, safe to call concurrently (later callers
+// block until the first finishes), and safe on a nil receiver — so callers
+// can unconditionally Close whatever a failed Recover returned.
 func (bm *BufferManager) Close() {
+	if bm == nil {
+		return
+	}
 	bm.closeOnce.Do(func() {
 		if bm.dramCleaner != nil {
 			bm.dramCleaner.close()

@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// CheckConsistency walks the mapping table and frame metadata and verifies
+// the structural invariants that migrations and recovery must preserve:
+//
+//   - every frame a descriptor points at is in range and agrees on the page
+//     id in its frame metadata;
+//   - no frame is referenced by two descriptors;
+//   - attached frames are not frozen (pins >= 0);
+//   - every attached NVM frame has a valid, checksummed header naming the
+//     same page (the durable self-identification recovery depends on).
+//
+// The caller must be quiescent (no concurrent fetches, cleaners stopped).
+// It returns nil, or an error describing the first few violations found.
+func (bm *BufferManager) CheckConsistency() error {
+	var violations []string
+	add := func(format string, args ...any) {
+		if len(violations) < 8 {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	dramOwner := map[int32]PageID{}
+	miniOwner := map[int32]PageID{}
+	nvmOwner := map[int32]PageID{}
+
+	bm.table.Range(func(pid PageID, d *descriptor) bool {
+		loc := d.load()
+		if f := loc.dramFrame; f != noFrame {
+			if bm.dram == nil || int(f) >= bm.dram.nFrames || f < 0 {
+				add("page %d: DRAM frame %d out of range", pid, f)
+			} else {
+				if prev, dup := dramOwner[f]; dup {
+					add("DRAM frame %d claimed by pages %d and %d", f, prev, pid)
+				}
+				dramOwner[f] = pid
+				if got := bm.dram.meta[f].pid.Load(); got != pid {
+					add("page %d: DRAM frame %d tagged with page %d", pid, f, got)
+				}
+				if bm.dram.meta[f].pins.Load() < 0 {
+					add("page %d: attached DRAM frame %d is frozen", pid, f)
+				}
+			}
+		}
+		if f := loc.dramMini; f != noFrame {
+			if bm.dram == nil || bm.dram.mini == nil || int(f) >= bm.dram.mini.nFrames || f < 0 {
+				add("page %d: mini frame %d out of range", pid, f)
+			} else {
+				if prev, dup := miniOwner[f]; dup {
+					add("mini frame %d claimed by pages %d and %d", f, prev, pid)
+				}
+				miniOwner[f] = pid
+				if got := bm.dram.mini.meta[f].pid.Load(); got != pid {
+					add("page %d: mini frame %d tagged with page %d", pid, f, got)
+				}
+			}
+		}
+		if f := loc.nvmFrame; f != noFrame {
+			if bm.nvm == nil || int(f) >= bm.nvm.nFrames || f < 0 {
+				add("page %d: NVM frame %d out of range", pid, f)
+			} else {
+				if prev, dup := nvmOwner[f]; dup {
+					add("NVM frame %d claimed by pages %d and %d", f, prev, pid)
+				}
+				nvmOwner[f] = pid
+				if got := bm.nvm.meta[f].pid.Load(); got != pid {
+					add("page %d: NVM frame %d tagged with page %d", pid, f, got)
+				}
+				hdrPID, valid := bm.nvm.readHeader(f)
+				if !valid {
+					add("page %d: NVM frame %d has no valid header", pid, f)
+				} else if hdrPID != pid {
+					add("page %d: NVM frame %d header names page %d", pid, f, hdrPID)
+				}
+			}
+		}
+		return true
+	})
+
+	if len(violations) > 0 {
+		return fmt.Errorf("core: consistency check failed: %d violation(s): %v",
+			len(violations), violations)
+	}
+	return nil
+}

@@ -47,6 +47,10 @@ const nvmFrameHeaderSize = 64
 // nvmFrameSlot is the arena stride of one NVM frame.
 const nvmFrameSlot = nvmFrameHeaderSize + PageSize
 
+// NVMFrameSlot is the exported arena stride, so harnesses can size NVM
+// arenas to an exact frame count.
+const NVMFrameSlot = nvmFrameSlot
+
 // nvmFrameMagic marks a valid, occupied NVM frame header.
 const nvmFrameMagic = 0x53504631 // "SPF1"
 
@@ -76,6 +80,13 @@ type Ctx struct {
 	RNG   *zipf.Rand
 
 	scratch []byte // lazily allocated page-size staging buffer
+
+	// cleaner marks the context as belonging to a background cleaner
+	// goroutine. Write-back admission treats cleaner evictions specially:
+	// dirty pages it pushes out of DRAM always go to NVM (skipping the Nw
+	// coin), since off the critical path the admission write costs the
+	// foreground nothing and pre-seeds the NVM buffer.
+	cleaner bool
 }
 
 // NewCtx creates a worker context with a fresh clock and the given RNG seed.
@@ -161,6 +172,12 @@ type Config struct {
 	// plain device with Table 1 DRAM parameters. The memory-mode
 	// experiments (§6.2) inject a memmode-backed charger here.
 	DRAMCharger MemCharger
+
+	// Retry bounds the retry/backoff loop wrapped around fallible NVM and
+	// SSD operations (meaningful only when fault injectors are attached to
+	// the underlying devices; see device.Injector). Zero values take the
+	// defaults documented on RetryConfig.
+	Retry RetryConfig
 }
 
 // MemCharger prices accesses to the DRAM buffer. Offsets are relative to
@@ -196,6 +213,13 @@ type BufferManager struct {
 	nvmCleaner  *cleaner
 	closeOnce   sync.Once
 
+	// retry is the resolved retry policy for fallible device operations.
+	retry RetryConfig
+
+	// nvmFailed latches when the NVM tier fails permanently: the hierarchy
+	// collapses to two-tier DRAM–SSD (see degradeNVM in retry.go).
+	nvmFailed atomic.Bool
+
 	nextPID atomic.Uint64
 
 	stats bmStats
@@ -228,7 +252,7 @@ func New(cfg Config) (*BufferManager, error) {
 		return nil, err
 	}
 
-	bm := &BufferManager{cfg: cfg, disk: cfg.SSD}
+	bm := &BufferManager{cfg: cfg, disk: cfg.SSD, retry: cfg.Retry.withDefaults()}
 	bm.table = cht.New[PageID, *descriptor](cht.Uint64Hash)
 	p := cfg.Policy
 	bm.pol.Store(&p)
@@ -267,10 +291,16 @@ func (bm *BufferManager) Policy() policy.Policy { return *bm.pol.Load() }
 
 // SetPolicy atomically replaces the migration policy; the adaptive tuner of
 // §4 calls this between epochs. Switching NwMode to the admission queue
-// lazily creates the queue.
+// lazily creates the queue. After the NVM tier has failed permanently the
+// NVM probabilities are forced to zero so no caller can re-route traffic to
+// the dead tier.
 func (bm *BufferManager) SetPolicy(p policy.Policy) error {
 	if err := p.Validate(); err != nil {
 		return err
+	}
+	if bm.nvmFailed.Load() {
+		p.Nr, p.Nw = 0, 0
+		p.NwMode = policy.NwProbabilistic
 	}
 	if p.NwMode == policy.NwAdmissionQueue && bm.admQueue == nil && bm.nvm != nil {
 		cap := bm.cfg.AdmissionQueueCapacity

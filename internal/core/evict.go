@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"github.com/spitfire-db/spitfire/internal/device"
 	"github.com/spitfire-db/spitfire/internal/policy"
 )
 
@@ -36,7 +37,9 @@ func allocExpired(i int, start *time.Time) bool {
 // alloc returns a frozen, clean DRAM frame, evicting a victim if the free
 // list is empty. With the background cleaner enabled the common case is a
 // free-list pop; the inline eviction loop below is the fallback when the
-// cleaner cannot keep up.
+// cleaner cannot keep up. An I/O error from a victim's write-back surfaces
+// immediately (retries already ran inside the eviction) rather than spinning
+// the victim search against a failing device.
 func (p *dramPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 	if f, ok := p.takeFree(); ok {
 		if cl := bm.dramCleaner; cl != nil && len(p.free) < cl.low {
@@ -65,7 +68,11 @@ func (p *dramPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 			// the free list; hand it out rather than losing it.
 			return v, nil
 		}
-		if bm.evictDRAMFrame(ctx, v) {
+		ok, err := bm.evictDRAMFrame(ctx, v)
+		if err != nil {
+			return noFrame, err
+		}
+		if ok {
 			bm.stats.fgEvicts.Inc()
 			return v, nil
 		}
@@ -74,31 +81,34 @@ func (p *dramPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 }
 
 // evictDRAMFrame evicts the page occupying frozen frame v, leaving the
-// frame frozen and clean for reuse. On failure the frame is thawed.
-func (bm *BufferManager) evictDRAMFrame(ctx *Ctx, v int32) bool {
+// frame frozen and clean for reuse. On failure the frame is thawed; a
+// non-nil error reports an unretryable I/O failure (contention is (false,
+// nil) and is retried by the caller's victim loop).
+func (bm *BufferManager) evictDRAMFrame(ctx *Ctx, v int32) (bool, error) {
 	p := bm.dram
 	m := &p.meta[v]
 	pid := m.pid.Load()
 	d, ok := bm.table.Get(pid)
 	if !ok {
 		m.thaw()
-		return false
+		return false, nil
 	}
 	d.mu.Lock()
 	match := d.dramFrame == v
 	d.mu.Unlock()
 	if !match {
 		m.thaw()
-		return false
+		return false, nil
 	}
 	if !d.latchD.TryLock() {
 		m.thaw()
-		return false
+		return false, nil
 	}
-	if !bm.writeBackDRAM(ctx, d, v) {
+	ok, err := bm.writeBackDRAM(ctx, d, v)
+	if !ok {
 		d.latchD.Unlock()
 		m.thaw()
-		return false
+		return false, err
 	}
 	d.mu.Lock()
 	d.dramFrame = noFrame
@@ -109,49 +119,65 @@ func (bm *BufferManager) evictDRAMFrame(ctx *Ctx, v int32) bool {
 	m.fg.Store(nil)
 	p.clock.Unref(int(v))
 	bm.stats.evictDRAM.Inc()
-	return true
+	return true, nil
 }
 
 // writeBackDRAM makes frame v's contents durable-enough to drop: dirty data
 // is pushed to the NVM copy if one exists, otherwise admitted to NVM per Nw
 // (or HyMem's admission queue), otherwise written straight to SSD (§3.4).
 // Caller holds d.latchD and the frozen frame.
-func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) bool {
+//
+// Fault handling: all NVM and SSD writes run under the retry policy. If an
+// NVM *admission* fails, the page falls back to SSD — admission is an
+// optimization, not a correctness requirement. If refreshing an *existing*
+// NVM copy fails, the eviction is abandoned with the error: dropping the
+// DRAM copy while a stale NVM copy stays reachable (and durable) would let
+// recovery resurrect old data over a newer SSD image.
+func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, error) {
 	p := bm.dram
 	m := &p.meta[v]
 	fg := m.fg.Load()
 	dirty := m.dirty.Load()
 	loc := d.load()
+	nvmOK := bm.nvm != nil && !bm.nvmDown()
 
 	// Cache-line-grained page backed by an NVM copy: write only the dirty
 	// units back (the bandwidth saving of HyMem's layout, Figure 2a).
 	if fg != nil && loc.nvmFrame != noFrame {
 		if !dirty {
-			return true
+			return true, nil
 		}
 		if !d.latchN.TryLock() {
-			return false
+			return false, nil
 		}
 		defer d.latchN.Unlock()
 		nm := &bm.nvm.meta[loc.nvmFrame]
 		if !nm.freezeWait(d.pid) {
-			return false
+			return false, nil
 		}
 		defer nm.thaw()
 		fg.mu.Lock()
 		frame := p.frame(v)
+		var werr error
 		for u := 0; u < fg.unitsPerPage(); u++ {
 			if fg.isDirty(u) {
 				off := u * fg.unit
 				p.charge.ChargeRead(ctx.Clock, p.frameOffset(v)+int64(off), fg.unit)
-				bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, off, frame[off:off+fg.unit])
+				if werr = bm.nvmWritePayload(ctx.Clock, loc.nvmFrame, off, frame[off:off+fg.unit]); werr != nil {
+					break
+				}
 			}
 		}
-		fg.clearDirty()
+		if werr == nil {
+			fg.clearDirty()
+		}
 		fg.mu.Unlock()
+		if werr != nil {
+			return false, werr
+		}
 		nm.dirty.Store(true)
 		bm.stats.dramToNVM.Inc()
-		return true
+		return true, nil
 	}
 	// A fine-grained page without an NVM copy is fully resident by
 	// invariant (the NVM evictor refuses to orphan partial pages), so the
@@ -165,29 +191,35 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) bool {
 		// admission is installed on NVM (clean: SSD already has it).
 		pol := bm.pol.Load()
 		if pol.NwMode != policy.NwAdmissionQueue || bm.admQueue == nil ||
-			bm.nvm == nil || loc.nvmFrame != noFrame || !bm.admQueue.Admit(d.pid) {
-			return true
+			!nvmOK || loc.nvmFrame != noFrame || !bm.admQueue.Admit(d.pid) {
+			return true, nil
 		}
 		if !d.latchN.TryLock() {
-			return true // clean: safe to just drop instead
+			return true, nil // clean: safe to just drop instead
 		}
 		nf, err := bm.nvm.alloc(bm, ctx)
 		if err == nil {
 			frame := p.frame(v)
 			p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
-			bm.nvm.writeHeader(ctx.Clock, nf, d.pid, true)
-			bm.nvm.writePayload(ctx.Clock, nf, 0, frame)
-			bm.nvm.meta[nf].pid.Store(d.pid)
-			bm.nvm.meta[nf].dirty.Store(false)
-			d.mu.Lock()
-			d.nvmFrame = nf
-			d.mu.Unlock()
-			bm.nvm.meta[nf].thaw()
-			bm.nvm.clock.Ref(int(nf))
-			bm.stats.dramToNVM.Inc()
+			if ierr := bm.installNVMPage(ctx.Clock, nf, d.pid, frame); ierr != nil {
+				bm.nvm.release(nf) // clean page: dropping is always safe
+			} else {
+				bm.nvm.meta[nf].pid.Store(d.pid)
+				bm.nvm.meta[nf].dirty.Store(false)
+				bm.nvm.meta[nf].clAdmit.Store(ctx.cleaner)
+				if ctx.cleaner {
+					bm.stats.cleanerAdmittedNVM.Inc()
+				}
+				d.mu.Lock()
+				d.nvmFrame = nf
+				d.mu.Unlock()
+				bm.nvm.meta[nf].thaw()
+				bm.nvm.clock.Ref(int(nf))
+				bm.stats.dramToNVM.Inc()
+			}
 		}
 		d.latchN.Unlock()
-		return true
+		return true, nil
 	}
 
 	frame := p.frame(v)
@@ -195,66 +227,89 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) bool {
 		// Refresh the page's existing NVM copy so NVM never goes stale
 		// ahead of SSD write-back.
 		if !d.latchN.TryLock() {
-			return false
+			return false, nil
 		}
 		defer d.latchN.Unlock()
 		nm := &bm.nvm.meta[loc.nvmFrame]
 		if !nm.freezeWait(d.pid) {
-			return false
+			return false, nil
 		}
 		defer nm.thaw()
 		p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
-		bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, 0, frame)
+		if err := bm.nvmWritePayload(ctx.Clock, loc.nvmFrame, 0, frame); err != nil {
+			return false, err
+		}
 		nm.dirty.Store(true)
 		bm.stats.dramToNVM.Inc()
-		return true
+		return true, nil
 	}
 
 	// NVM admission decision (§3.4). HyMem consults its admission queue;
-	// Spitfire flips a Bernoulli(Nw) coin.
+	// Spitfire flips a Bernoulli(Nw) coin. The background cleaner skips the
+	// coin entirely and always admits: its write-back runs off the critical
+	// path, so admitting costs the foreground nothing and pre-warms NVM.
+	// (With Nw forced to zero — NVM disabled or degraded — the bias is off.)
 	admit := false
-	if bm.nvm != nil {
+	if nvmOK {
 		pol := bm.pol.Load()
 		if pol.NwMode == policy.NwAdmissionQueue && bm.admQueue != nil {
 			admit = bm.admQueue.Admit(d.pid)
+		} else if ctx.cleaner {
+			admit = pol.Nw > 0
 		} else {
 			admit = ctx.bernoulli(pol.Nw)
 		}
 	}
 	if admit {
 		if !d.latchN.TryLock() {
-			return false
+			return false, nil
 		}
 		nf, err := bm.nvm.alloc(bm, ctx)
 		if err == nil {
 			p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
-			bm.nvm.writeHeader(ctx.Clock, nf, d.pid, true)
-			bm.nvm.writePayload(ctx.Clock, nf, 0, frame)
-			bm.nvm.meta[nf].pid.Store(d.pid)
-			bm.nvm.meta[nf].dirty.Store(true)
-			d.mu.Lock()
-			d.nvmFrame = nf
-			d.mu.Unlock()
-			bm.nvm.meta[nf].thaw()
-			bm.nvm.clock.Ref(int(nf))
+			if ierr := bm.installNVMPage(ctx.Clock, nf, d.pid, frame); ierr != nil {
+				// Admission failed mid-install; the page has no NVM copy yet,
+				// so fall back to writing it straight to SSD below.
+				bm.nvm.release(nf)
+				d.latchN.Unlock()
+			} else {
+				bm.nvm.meta[nf].pid.Store(d.pid)
+				bm.nvm.meta[nf].dirty.Store(true)
+				bm.nvm.meta[nf].clAdmit.Store(ctx.cleaner)
+				if ctx.cleaner {
+					bm.stats.cleanerAdmittedNVM.Inc()
+				}
+				d.mu.Lock()
+				d.nvmFrame = nf
+				d.mu.Unlock()
+				bm.nvm.meta[nf].thaw()
+				bm.nvm.clock.Ref(int(nf))
+				d.latchN.Unlock()
+				bm.stats.dramToNVM.Inc()
+				return true, nil
+			}
+		} else {
+			// NVM itself is unevictable right now; fall through to SSD.
 			d.latchN.Unlock()
-			bm.stats.dramToNVM.Inc()
-			return true
+			if isIOErr(err) && !errors.Is(err, device.ErrCrashed) {
+				// note and keep going: SSD can still take the page
+				bm.noteNVMErr(err)
+			} else if errors.Is(err, device.ErrCrashed) {
+				return false, err
+			}
 		}
-		// NVM itself is unevictable right now; fall through to SSD.
-		d.latchN.Unlock()
 	}
 
 	if !d.latchS.TryLock() {
-		return false
+		return false, nil
 	}
 	defer d.latchS.Unlock()
 	p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
-	if err := bm.disk.WritePage(ctx.Clock, d.pid, frame); err != nil {
-		return false
+	if err := bm.diskWritePage(ctx.Clock, d.pid, frame); err != nil {
+		return false, err
 	}
 	bm.stats.dramToSSD.Inc()
-	return true
+	return true, nil
 }
 
 // allocMini returns a frozen, clean mini frame.
@@ -279,7 +334,11 @@ func (p *dramPool) allocMini(bm *BufferManager, ctx *Ctx) (int32, error) {
 		if mp.meta[v].pid.Load() == InvalidPageID {
 			return v, nil
 		}
-		if bm.evictMiniFrame(ctx, v) {
+		ok, err := bm.evictMiniFrame(ctx, v)
+		if err != nil {
+			return noFrame, err
+		}
+		if ok {
 			return v, nil
 		}
 	}
@@ -288,25 +347,25 @@ func (p *dramPool) allocMini(bm *BufferManager, ctx *Ctx) (int32, error) {
 
 // evictMiniFrame evicts the mini page in frozen mini frame v, writing dirty
 // slots back to the page's NVM copy.
-func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) bool {
+func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) (bool, error) {
 	mp := bm.dram.mini
 	m := &mp.meta[v]
 	pid := m.pid.Load()
 	d, ok := bm.table.Get(pid)
 	if !ok {
 		m.thaw()
-		return false
+		return false, nil
 	}
 	d.mu.Lock()
 	match := d.dramMini == v
 	d.mu.Unlock()
 	if !match {
 		m.thaw()
-		return false
+		return false, nil
 	}
 	if !d.latchD.TryLock() {
 		m.thaw()
-		return false
+		return false, nil
 	}
 	fg := m.fg.Load()
 	if m.dirty.Load() && fg != nil && fg.slotDirtyAny() {
@@ -316,32 +375,44 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) bool {
 			// no backing copy.
 			d.latchD.Unlock()
 			m.thaw()
-			return false
+			return false, nil
 		}
 		if !d.latchN.TryLock() {
 			d.latchD.Unlock()
 			m.thaw()
-			return false
+			return false, nil
 		}
 		nm := &bm.nvm.meta[loc.nvmFrame]
 		if !nm.freezeWait(pid) {
 			d.latchN.Unlock()
 			d.latchD.Unlock()
 			m.thaw()
-			return false
+			return false, nil
 		}
 		fg.mu.Lock()
 		data := mp.data(v)
+		var werr error
 		for s := 0; s < fg.slotCount; s++ {
 			if fg.slotDirty&(1<<uint(s)) == 0 {
 				continue
 			}
 			u := int(fg.slots[s])
 			bm.dram.charge.ChargeRead(ctx.Clock, int64(int(v)*mp.slotSize+s*fg.unit), fg.unit)
-			bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, u*fg.unit, data[s*fg.unit:(s+1)*fg.unit])
+			if werr = bm.nvmWritePayload(ctx.Clock, loc.nvmFrame, u*fg.unit, data[s*fg.unit:(s+1)*fg.unit]); werr != nil {
+				break
+			}
 		}
-		fg.clearDirty()
+		if werr == nil {
+			fg.clearDirty()
+		}
 		fg.mu.Unlock()
+		if werr != nil {
+			nm.thaw()
+			d.latchN.Unlock()
+			d.latchD.Unlock()
+			m.thaw()
+			return false, werr
+		}
 		nm.dirty.Store(true)
 		nm.thaw()
 		d.latchN.Unlock()
@@ -356,7 +427,7 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) bool {
 	m.fg.Store(nil)
 	mp.clock.Unref(int(v))
 	bm.stats.evictMini.Inc()
-	return true
+	return true, nil
 }
 
 // slotDirtyAny reports whether any mini slot is dirty (lock-free peek; the
@@ -392,7 +463,11 @@ func (np *nvmPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 		if np.meta[v].pid.Load() == InvalidPageID {
 			return v, nil
 		}
-		if bm.evictNVMFrame(ctx, v) {
+		ok, err := bm.evictNVMFrame(ctx, v)
+		if err != nil {
+			return noFrame, err
+		}
+		if ok {
 			bm.stats.fgEvicts.Inc()
 			return v, nil
 		}
@@ -404,25 +479,25 @@ func (np *nvmPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 // SSD if dirty (path ❽). Pages whose DRAM copy is only partially resident
 // (cache-line-grained or mini) are skipped: evicting their backing store
 // would orphan them.
-func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) bool {
+func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) (bool, error) {
 	np := bm.nvm
 	m := &np.meta[v]
 	pid := m.pid.Load()
 	d, ok := bm.table.Get(pid)
 	if !ok {
 		m.thaw()
-		return false
+		return false, nil
 	}
 	d.mu.Lock()
 	match := d.nvmFrame == v
 	d.mu.Unlock()
 	if !match {
 		m.thaw()
-		return false
+		return false, nil
 	}
 	if !d.latchN.TryLock() {
 		m.thaw()
-		return false
+		return false, nil
 	}
 	// Re-check DRAM dependencies under latchN (migrations up require it,
 	// so no new fine-grained page can appear once we hold it).
@@ -433,40 +508,51 @@ func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) bool {
 	if mini {
 		d.latchN.Unlock()
 		m.thaw()
-		return false
+		return false, nil
 	}
 	if df != noFrame && bm.dram != nil {
 		if fg := bm.dram.meta[df].fg.Load(); fg != nil && !fg.fullyResident() {
 			d.latchN.Unlock()
 			m.thaw()
-			return false
+			return false, nil
 		}
 	}
 	if m.dirty.Load() {
 		if !d.latchS.TryLock() {
 			d.latchN.Unlock()
 			m.thaw()
-			return false
+			return false, nil
 		}
 		buf := ctx.buf()
-		np.readPayload(ctx.Clock, v, 0, buf)
-		err := bm.disk.WritePage(ctx.Clock, pid, buf)
+		err := bm.nvmReadPayload(ctx.Clock, v, 0, buf)
+		if err == nil {
+			err = bm.diskWritePage(ctx.Clock, pid, buf)
+		}
 		d.latchS.Unlock()
 		if err != nil {
 			d.latchN.Unlock()
 			m.thaw()
-			return false
+			return false, err
 		}
 		bm.stats.nvmToSSD.Inc()
 	}
-	np.writeHeader(ctx.Clock, v, InvalidPageID, false)
+	// Invalidate the frame's durable header so recovery cannot resurrect it.
+	// An invalidation failure keeps the frame attached (thawed, consistent):
+	// abandoning it here while its valid header survives in the arena would
+	// let a crash-recovery scan revive a page the manager thinks it evicted.
+	if err := bm.nvmWriteHeader(ctx.Clock, v, InvalidPageID, false); err != nil {
+		d.latchN.Unlock()
+		m.thaw()
+		return false, err
+	}
 	d.mu.Lock()
 	d.nvmFrame = noFrame
 	d.mu.Unlock()
 	d.latchN.Unlock()
 	m.pid.Store(InvalidPageID)
 	m.dirty.Store(false)
+	m.clAdmit.Store(false)
 	np.clock.Unref(int(v))
 	bm.stats.evictNVM.Inc()
-	return true
+	return true, nil
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"github.com/spitfire-db/spitfire/internal/device"
 	"github.com/spitfire-db/spitfire/internal/policy"
 )
 
@@ -51,6 +53,13 @@ func (bm *BufferManager) FetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 		}
 		// NVM frame.
 		if f := d.nvmFrame; f != noFrame {
+			if bm.nvmDown() {
+				// The tier died; this descriptor raced the degradation walk.
+				// Detach its dead copy inline and retry as a miss/DRAM hit.
+				d.mu.Unlock()
+				bm.detachDeadNVM(d)
+				continue
+			}
 			migrate := false
 			if bm.dram != nil {
 				p := pol.Dr
@@ -64,6 +73,9 @@ func (bm *BufferManager) FetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 					d.mu.Unlock()
 					bm.nvm.clock.Ref(int(f))
 					bm.stats.hitNVM.Inc()
+					if bm.nvm.meta[f].clAdmit.Load() {
+						bm.stats.hitNVMCleanerAdmitted.Inc()
+					}
 					return &Handle{bm: bm, d: d, tier: TierNVM, frame: f}, nil
 				}
 				d.mu.Unlock()
@@ -124,6 +136,9 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 		if bm.dram.mini != nil {
 			mf, err := bm.dram.allocMini(bm, ctx)
 			if err != nil {
+				if isIOErr(err) {
+					return nil, fmt.Errorf("core: migrate page %d up: %w", d.pid, err)
+				}
 				return nil, nil // DRAM churn; serve from NVM this time
 			}
 			mp := bm.dram.mini
@@ -140,6 +155,9 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 		}
 		f, err := bm.dram.alloc(bm, ctx)
 		if err != nil {
+			if isIOErr(err) {
+				return nil, fmt.Errorf("core: migrate page %d up: %w", d.pid, err)
+			}
 			return nil, nil
 		}
 		bm.dram.meta[f].pid.Store(d.pid)
@@ -157,9 +175,20 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 	// Whole-page migration.
 	f, err := bm.dram.alloc(bm, ctx)
 	if err != nil {
+		if isIOErr(err) {
+			return nil, fmt.Errorf("core: migrate page %d up: %w", d.pid, err)
+		}
 		return nil, nil
 	}
-	bm.nvm.readPayload(ctx.Clock, nf, 0, bm.dram.frame(f))
+	if err := bm.nvmReadPayload(ctx.Clock, nf, 0, bm.dram.frame(f)); err != nil {
+		bm.dram.release(f)
+		if errors.Is(err, device.ErrPermanent) && !errors.Is(err, device.ErrCrashed) {
+			// nvmReadPayload already degraded the tier; the caller's retry
+			// loop detaches the dead copy and falls back to the SSD route.
+			return nil, nil
+		}
+		return nil, fmt.Errorf("core: migrate page %d up: %w", d.pid, err)
+	}
 	bm.dram.charge.ChargeWrite(ctx.Clock, bm.dram.frameOffset(f), PageSize)
 	bm.dram.meta[f].pid.Store(d.pid)
 	bm.dram.meta[f].dirty.Store(false)
@@ -177,38 +206,22 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 // page in the NVM buffer (path ❼ of Figure 3); otherwise it bypasses NVM
 // and loads straight into DRAM (path ❾, §3.3). It returns (nil, nil) if a
 // concurrent fetch installed the page first.
+//
+// If the NVM route fails with an I/O error and a DRAM tier exists, the fetch
+// falls back to the DRAM route: a dying NVM buffer degrades service rather
+// than failing reads the SSD can still satisfy.
 func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) (*Handle, error) {
-	toNVM := bm.nvm != nil && (bm.dram == nil || ctx.bernoulli(pol.Nr))
+	toNVM := bm.nvm != nil && !bm.nvmDown() && (bm.dram == nil || ctx.bernoulli(pol.Nr))
 
 	if toNVM {
-		d.latchN.Lock()
-		d.latchS.Lock()
-		defer d.latchS.Unlock()
-		defer d.latchN.Unlock()
-		loc := d.load()
-		if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame != noFrame {
-			return nil, nil
+		h, err := bm.fetchMissNVM(ctx, d)
+		if err == nil {
+			return h, nil // h == nil means an install race; the caller retries
 		}
-		nf, err := bm.nvm.alloc(bm, ctx)
-		if err != nil {
-			return nil, err
-		}
-		buf := ctx.buf()
-		if err := bm.disk.ReadPage(ctx.Clock, d.pid, buf); err != nil {
-			bm.nvm.release(nf)
+		if bm.dram == nil || errors.Is(err, device.ErrCrashed) {
 			return nil, fmt.Errorf("core: fetch page %d: %w", d.pid, err)
 		}
-		bm.nvm.writeHeader(ctx.Clock, nf, d.pid, true)
-		bm.nvm.writePayload(ctx.Clock, nf, 0, buf)
-		bm.nvm.meta[nf].pid.Store(d.pid)
-		bm.nvm.meta[nf].dirty.Store(false)
-		d.mu.Lock()
-		d.nvmFrame = nf
-		d.mu.Unlock()
-		bm.nvm.meta[nf].pins.Store(1)
-		bm.nvm.clock.Ref(int(nf))
-		bm.stats.ssdToNVM.Inc()
-		return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf}, nil
+		// NVM route failed; fall through to the DRAM route below.
 	}
 
 	d.latchD.Lock()
@@ -223,7 +236,7 @@ func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) 
 	if err != nil {
 		return nil, err
 	}
-	if err := bm.disk.ReadPage(ctx.Clock, d.pid, bm.dram.frame(f)); err != nil {
+	if err := bm.diskReadPage(ctx.Clock, d.pid, bm.dram.frame(f)); err != nil {
 		bm.dram.release(f)
 		return nil, fmt.Errorf("core: fetch page %d: %w", d.pid, err)
 	}
@@ -238,6 +251,44 @@ func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) 
 	bm.dram.clock.Ref(int(f))
 	bm.stats.ssdToDRAM.Inc()
 	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+}
+
+// fetchMissNVM is fetchMiss's SSD→NVM route (path ❼). It returns (nil, nil)
+// on an install race and a typed error on I/O failure; the payload is written
+// and persisted before the self-identifying header, so a crash mid-install
+// leaves an invalid frame, never a valid header over torn data.
+func (bm *BufferManager) fetchMissNVM(ctx *Ctx, d *descriptor) (*Handle, error) {
+	d.latchN.Lock()
+	d.latchS.Lock()
+	defer d.latchS.Unlock()
+	defer d.latchN.Unlock()
+	loc := d.load()
+	if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame != noFrame {
+		return nil, nil
+	}
+	nf, err := bm.nvm.alloc(bm, ctx)
+	if err != nil {
+		return nil, err
+	}
+	buf := ctx.buf()
+	if err := bm.diskReadPage(ctx.Clock, d.pid, buf); err != nil {
+		bm.nvm.release(nf)
+		return nil, err
+	}
+	if err := bm.installNVMPage(ctx.Clock, nf, d.pid, buf); err != nil {
+		bm.nvm.release(nf)
+		return nil, err
+	}
+	bm.nvm.meta[nf].pid.Store(d.pid)
+	bm.nvm.meta[nf].dirty.Store(false)
+	bm.nvm.meta[nf].clAdmit.Store(false)
+	d.mu.Lock()
+	d.nvmFrame = nf
+	d.mu.Unlock()
+	bm.nvm.meta[nf].pins.Store(1)
+	bm.nvm.clock.Ref(int(nf))
+	bm.stats.ssdToNVM.Inc()
+	return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf}, nil
 }
 
 // NewPage allocates a fresh, zeroed page and returns it pinned. Placement
@@ -258,7 +309,7 @@ func (bm *BufferManager) NewPage(ctx *Ctx) (PageID, *Handle, error) {
 func (bm *BufferManager) materialize(ctx *Ctx, pid PageID) (*Handle, error) {
 	d := bm.descriptorFor(pid)
 	pol := bm.pol.Load()
-	toDRAM := bm.dram != nil && (bm.nvm == nil || ctx.bernoulli(pol.Dw))
+	toDRAM := bm.dram != nil && (bm.nvm == nil || bm.nvmDown() || ctx.bernoulli(pol.Dw))
 
 	if toDRAM {
 		d.latchD.Lock()
@@ -293,10 +344,13 @@ func (bm *BufferManager) materialize(ctx *Ctx, pid PageID) (*Handle, error) {
 	for i := range buf {
 		buf[i] = 0
 	}
-	bm.nvm.writeHeader(ctx.Clock, nf, pid, true)
-	bm.nvm.writePayload(ctx.Clock, nf, 0, buf)
+	if err := bm.installNVMPage(ctx.Clock, nf, pid, buf); err != nil {
+		bm.nvm.release(nf)
+		return nil, fmt.Errorf("core: materialize page %d: %w", pid, err)
+	}
 	bm.nvm.meta[nf].pid.Store(pid)
 	bm.nvm.meta[nf].dirty.Store(true)
+	bm.nvm.meta[nf].clAdmit.Store(false)
 	d.mu.Lock()
 	d.nvmFrame = nf
 	d.mu.Unlock()
@@ -324,7 +378,7 @@ func (bm *BufferManager) MaterializePage(ctx *Ctx, pid PageID) (*Handle, error) 
 // SeedPage writes a page directly to SSD, bypassing the buffers. Loaders
 // use it to build fixtures; it also bumps the page-id allocator past pid.
 func (bm *BufferManager) SeedPage(ctx *Ctx, pid PageID, data []byte) error {
-	if err := bm.disk.WritePage(ctx.Clock, pid, data); err != nil {
+	if err := bm.diskWritePage(ctx.Clock, pid, data); err != nil {
 		return err
 	}
 	for {

@@ -86,15 +86,23 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 		defer nm.thaw()
 		fg.mu.Lock()
 		data := bm.dram.mini.data(v)
+		var werr error
 		for s := 0; s < fg.slotCount; s++ {
 			if fg.slotDirty&(1<<uint(s)) == 0 {
 				continue
 			}
 			u := int(fg.slots[s])
-			bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, u*fg.unit, data[s*fg.unit:(s+1)*fg.unit])
+			if werr = bm.nvmWritePayload(ctx.Clock, loc.nvmFrame, u*fg.unit, data[s*fg.unit:(s+1)*fg.unit]); werr != nil {
+				break
+			}
 		}
-		fg.clearDirty()
+		if werr == nil {
+			fg.clearDirty()
+		}
 		fg.mu.Unlock()
+		if werr != nil {
+			return false, werr
+		}
 		nm.dirty.Store(true)
 		m.dirty.Store(false)
 		bm.stats.flushedDRAMPages.Inc()
@@ -115,17 +123,27 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 		defer nm.thaw()
 		if fg != nil {
 			fg.mu.Lock()
+			var werr error
 			for u := 0; u < fg.unitsPerPage(); u++ {
 				if fg.isDirty(u) {
 					off := u * fg.unit
-					bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, off, frame[off:off+fg.unit])
+					if werr = bm.nvmWritePayload(ctx.Clock, loc.nvmFrame, off, frame[off:off+fg.unit]); werr != nil {
+						break
+					}
 				}
 			}
-			fg.clearDirty()
+			if werr == nil {
+				fg.clearDirty()
+			}
 			fg.mu.Unlock()
+			if werr != nil {
+				return false, werr
+			}
 		} else {
 			bm.dram.charge.ChargeRead(ctx.Clock, bm.dram.frameOffset(v), PageSize)
-			bm.nvm.writePayload(ctx.Clock, loc.nvmFrame, 0, frame)
+			if err := bm.nvmWritePayload(ctx.Clock, loc.nvmFrame, 0, frame); err != nil {
+				return false, err
+			}
 		}
 		nm.dirty.Store(true)
 		m.dirty.Store(false)
@@ -140,7 +158,7 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 	}
 	defer d.latchS.Unlock()
 	bm.dram.charge.ChargeRead(ctx.Clock, bm.dram.frameOffset(v), PageSize)
-	if err := bm.disk.WritePage(ctx.Clock, d.pid, frame); err != nil {
+	if err := bm.diskWritePage(ctx.Clock, d.pid, frame); err != nil {
 		return false, err
 	}
 	if fg != nil {
@@ -189,8 +207,11 @@ func (bm *BufferManager) FlushAll(ctx *Ctx) error {
 		loc = d.load()
 		if loc.nvmFrame != noFrame && bm.nvm.meta[loc.nvmFrame].dirty.Load() {
 			buf := ctx.buf()
-			bm.nvm.readPayload(ctx.Clock, loc.nvmFrame, 0, buf)
-			if err := bm.disk.WritePage(ctx.Clock, d.pid, buf); err != nil {
+			err := bm.nvmReadPayload(ctx.Clock, loc.nvmFrame, 0, buf)
+			if err == nil {
+				err = bm.diskWritePage(ctx.Clock, d.pid, buf)
+			}
+			if err != nil {
 				d.latchS.Unlock()
 				d.latchN.Unlock()
 				return err

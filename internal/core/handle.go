@@ -92,7 +92,9 @@ func (h *Handle) ReadAt(ctx *Ctx, off int, buf []byte) error {
 	case TierMini:
 		return h.miniAccess(ctx, off, buf, nil)
 	case TierNVM:
-		h.bm.nvm.readPayload(ctx.Clock, h.frame, off, buf)
+		if err := h.bm.nvmReadPayload(ctx.Clock, h.frame, off, buf); err != nil {
+			return fmt.Errorf("core: page %d: %w", h.d.pid, err)
+		}
 		return nil
 	}
 	return fmt.Errorf("core: unknown tier %v", h.tier)
@@ -121,7 +123,9 @@ func (h *Handle) WriteAt(ctx *Ctx, off int, data []byte) error {
 	case TierMini:
 		return h.miniAccess(ctx, off, nil, data)
 	case TierNVM:
-		h.bm.nvm.writePayload(ctx.Clock, h.frame, off, data)
+		if err := h.bm.nvmWritePayload(ctx.Clock, h.frame, off, data); err != nil {
+			return fmt.Errorf("core: page %d: %w", h.d.pid, err)
+		}
 		h.bm.nvm.meta[h.frame].dirty.Store(true)
 		return nil
 	}
@@ -250,7 +254,11 @@ func (h *Handle) miniAccess(ctx *Ctx, off int, buf, data []byte) error {
 		fg.slots[s] = int32(u)
 		fg.slotCount++
 		dst := mp.data(h.frame)[s*fg.unit : (s+1)*fg.unit]
-		h.bm.nvm.readPayload(ctx.Clock, nf, u*fg.unit, dst)
+		if err := h.bm.nvmReadPayload(ctx.Clock, nf, u*fg.unit, dst); err != nil {
+			fg.slotCount-- // roll the half-filled slot back
+			fg.mu.Unlock()
+			return fmt.Errorf("core: page %d: %w", h.d.pid, err)
+		}
 		h.bm.dram.charge.ChargeWrite(ctx.Clock, int64(int(h.frame)*mp.slotSize+s*fg.unit), fg.unit)
 		h.bm.stats.fgUnitLoads.Inc()
 	}
@@ -281,9 +289,15 @@ func (h *Handle) miniAccess(ctx *Ctx, off int, buf, data []byte) error {
 				return fmt.Errorf("core: page %d: mini page lost its NVM backing", h.d.pid)
 			}
 			if buf != nil {
-				h.bm.nvm.readPayload(ctx.Clock, nf, lo, buf[lo-off:hi-off])
+				if err := h.bm.nvmReadPayload(ctx.Clock, nf, lo, buf[lo-off:hi-off]); err != nil {
+					fg.mu.Unlock()
+					return fmt.Errorf("core: page %d: %w", h.d.pid, err)
+				}
 			} else {
-				h.bm.nvm.writePayload(ctx.Clock, nf, lo, data[lo-off:hi-off])
+				if err := h.bm.nvmWritePayload(ctx.Clock, nf, lo, data[lo-off:hi-off]); err != nil {
+					fg.mu.Unlock()
+					return fmt.Errorf("core: page %d: %w", h.d.pid, err)
+				}
 				h.bm.nvm.meta[nf].dirty.Store(true)
 			}
 			continue

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync/atomic"
 
 	"github.com/spitfire-db/spitfire/internal/bitmapclock"
@@ -16,10 +17,11 @@ import (
 // an allocator/evictor/migrator and invisible to fetchers), 0 means resident
 // and unpinned, >0 counts pinned users. Frames on the free list are frozen.
 type frameMeta struct {
-	pid   atomic.Uint64
-	pins  atomic.Int32
-	dirty atomic.Bool
-	fg    atomic.Pointer[fgState] // fine-grained residency; DRAM full frames only
+	pid     atomic.Uint64
+	pins    atomic.Int32
+	dirty   atomic.Bool
+	fg      atomic.Pointer[fgState] // fine-grained residency; DRAM full frames only
+	clAdmit atomic.Bool             // NVM frames: page was admitted by the background cleaner
 }
 
 // tryPin attempts to pin the frame; it fails if the frame is frozen.
@@ -118,6 +120,7 @@ func (p *basePool) release(f int32) {
 	p.meta[f].pid.Store(InvalidPageID)
 	p.meta[f].dirty.Store(false)
 	p.meta[f].fg.Store(nil)
+	p.meta[f].clAdmit.Store(false)
 	p.clock.Unref(int(f))
 	p.free <- f
 }
@@ -221,8 +224,21 @@ func (p *nvmPool) payloadOffset(i int32) int64 {
 // headerOffset is the arena offset of frame i's header.
 func (p *nvmPool) headerOffset(i int32) int64 { return int64(i) * nvmFrameSlot }
 
-// writeHeader installs (and persists) frame i's self-identifying header.
-func (p *nvmPool) writeHeader(c *vclock.Clock, i int32, pid PageID, valid bool) {
+// nvmHeaderTable is the CRC polynomial for the frame-header checksum.
+var nvmHeaderTable = crc32.MakeTable(crc32.Castagnoli)
+
+// headerSum checksums a frame header's magic and page-id words. The sum is
+// stored at bytes [4:8) and validated by readHeader, so a torn header write
+// — a crash mid-install — can never resurrect a frame under a garbage pid.
+func headerSum(hdr []byte) uint32 {
+	s := crc32.Checksum(hdr[0:4], nvmHeaderTable)
+	return crc32.Update(s, nvmHeaderTable, hdr[8:16])
+}
+
+// writeHeader installs (and persists) frame i's self-identifying header. The
+// 16-byte header is [magic u32][crc u32][pid u64]; a fault can tear it, which
+// the checksum converts into "invalid frame" rather than silent corruption.
+func (p *nvmPool) writeHeader(c *vclock.Clock, i int32, pid PageID, valid bool) error {
 	var hdr [16]byte
 	magic := uint32(0)
 	if valid {
@@ -230,29 +246,49 @@ func (p *nvmPool) writeHeader(c *vclock.Clock, i int32, pid PageID, valid bool) 
 	}
 	binary.LittleEndian.PutUint32(hdr[0:4], magic)
 	binary.LittleEndian.PutUint64(hdr[8:16], pid)
-	p.pm.Write(c, p.headerOffset(i), hdr[:])
-	p.pm.Persist(c, p.headerOffset(i), len(hdr))
+	binary.LittleEndian.PutUint32(hdr[4:8], headerSum(hdr[:]))
+	if err := p.pm.WriteErr(c, p.headerOffset(i), hdr[:]); err != nil {
+		return fmt.Errorf("core: nvm frame %d header: %w", i, err)
+	}
+	if err := p.pm.PersistErr(c, p.headerOffset(i), len(hdr)); err != nil {
+		return fmt.Errorf("core: nvm frame %d header persist: %w", i, err)
+	}
+	return nil
 }
 
 // readHeader decodes frame i's header without charging a device (recovery
-// scans charge separately).
+// scans charge separately). Frames with a bad magic or checksum — including
+// headers torn by a crash mid-install — read as invalid.
 func (p *nvmPool) readHeader(i int32) (pid PageID, valid bool) {
 	hdr := p.pm.Bytes(p.headerOffset(i), 16)
 	if binary.LittleEndian.Uint32(hdr[0:4]) != nvmFrameMagic {
+		return InvalidPageID, false
+	}
+	if binary.LittleEndian.Uint32(hdr[4:8]) != headerSum(hdr) {
 		return InvalidPageID, false
 	}
 	return binary.LittleEndian.Uint64(hdr[8:16]), true
 }
 
 // writePayload stores (and persists) page data into frame i at the given
-// offset within the page.
-func (p *nvmPool) writePayload(c *vclock.Clock, i int32, off int, data []byte) {
+// offset within the page. A torn write leaves a prefix on media; callers
+// retry the full write (the payload only becomes reachable once the header
+// is installed after it, so a half-written payload is never served).
+func (p *nvmPool) writePayload(c *vclock.Clock, i int32, off int, data []byte) error {
 	base := p.payloadOffset(i) + int64(off)
-	p.pm.Write(c, base, data)
-	p.pm.Persist(c, base, len(data))
+	if err := p.pm.WriteErr(c, base, data); err != nil {
+		return fmt.Errorf("core: nvm frame %d write: %w", i, err)
+	}
+	if err := p.pm.PersistErr(c, base, len(data)); err != nil {
+		return fmt.Errorf("core: nvm frame %d persist: %w", i, err)
+	}
+	return nil
 }
 
 // readPayload loads page data from frame i at the given in-page offset.
-func (p *nvmPool) readPayload(c *vclock.Clock, i int32, off int, buf []byte) {
-	p.pm.Read(c, p.payloadOffset(i)+int64(off), buf)
+func (p *nvmPool) readPayload(c *vclock.Clock, i int32, off int, buf []byte) error {
+	if err := p.pm.ReadErr(c, p.payloadOffset(i)+int64(off), buf); err != nil {
+		return fmt.Errorf("core: nvm frame %d read: %w", i, err)
+	}
+	return nil
 }

@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Recover builds a buffer manager on top of a surviving NVM arena after a
 // (simulated) crash. This is the first step of the paper's recovery
@@ -57,7 +60,12 @@ func Recover(cfg Config) (*BufferManager, error) {
 			// persist and descriptor publish can leave a torn install).
 			// Keep the first and retire the other.
 			_ = dup
-			np.writeHeader(ctx.Clock, f, InvalidPageID, false)
+			if err := np.writeHeader(ctx.Clock, f, InvalidPageID, false); err != nil {
+				// Leaving the stale header durable would let the *next*
+				// recovery resurrect it; fail loudly instead.
+				bm.Close()
+				return nil, fmt.Errorf("core: recover: retiring duplicate frame %d: %w", f, err)
+			}
 			np.meta[f].pid.Store(InvalidPageID)
 			np.meta[f].pins.Store(-1)
 			np.free <- f

@@ -19,6 +19,14 @@ type bmStats struct {
 	cleanerCleanedNVM  metrics.Counter
 	cleanerStalls      metrics.Counter
 	fgEvicts           metrics.Counter
+
+	// Fault handling (DESIGN.md §5-ter).
+	ioRetries             metrics.Counter
+	ioGiveUps             metrics.Counter
+	nvmDegraded           metrics.Counter
+	nvmOrphanedPages      metrics.Counter
+	cleanerAdmittedNVM    metrics.Counter
+	hitNVMCleanerAdmitted metrics.Counter
 }
 
 // Stats is a snapshot of the buffer manager's counters.
@@ -50,6 +58,25 @@ type Stats struct {
 	CleanerCleanedNVM  int64
 	CleanerStalls      int64
 	ForegroundEvicts   int64
+
+	// Fault handling (DESIGN.md §5-ter). IORetries counts individual retried
+	// device operations, IOGiveUps operations abandoned after the retry
+	// budget (or on a permanent/crash error). NVMDegraded is 1 once the NVM
+	// tier has permanently failed and the manager collapsed to two-tier
+	// DRAM–SSD mode; NVMOrphanedPages counts pages whose newest content was
+	// lost with the tier.
+	IORetries        int64
+	IOGiveUps        int64
+	NVMDegraded      int64
+	NVMOrphanedPages int64
+
+	// Cleaner admission bias: CleanerAdmittedNVM counts NVM installs made by
+	// the background cleaner's always-admit rule; HitNVMCleanerAdmitted is
+	// the subset of HitNVM served from such frames. Comparing the two hit
+	// rates (HitNVMCleanerAdmitted/CleanerAdmittedNVM vs HitNVM/SSDToNVM+
+	// DRAMToNVM) shows whether bypassing the Nw coin admits useful pages.
+	CleanerAdmittedNVM    int64
+	HitNVMCleanerAdmitted int64
 }
 
 // Stats snapshots the manager's counters.
@@ -73,6 +100,13 @@ func (bm *BufferManager) Stats() Stats {
 		CleanerCleanedNVM:  s.cleanerCleanedNVM.Load(),
 		CleanerStalls:      s.cleanerStalls.Load(),
 		ForegroundEvicts:   s.fgEvicts.Load(),
+
+		IORetries:             s.ioRetries.Load(),
+		IOGiveUps:             s.ioGiveUps.Load(),
+		NVMDegraded:           s.nvmDegraded.Load(),
+		NVMOrphanedPages:      s.nvmOrphanedPages.Load(),
+		CleanerAdmittedNVM:    s.cleanerAdmittedNVM.Load(),
+		HitNVMCleanerAdmitted: s.hitNVMCleanerAdmitted.Load(),
 	}
 }
 
@@ -88,6 +122,9 @@ func (bm *BufferManager) ResetStats() {
 		&s.flushedDRAMPages, &s.flushedNVMPages, &s.recoveredNVMPages,
 		&s.cleanerBatches, &s.cleanerCleanedDRAM, &s.cleanerCleanedNVM,
 		&s.cleanerStalls, &s.fgEvicts,
+		&s.ioRetries, &s.ioGiveUps,
+		&s.nvmOrphanedPages,
+		&s.cleanerAdmittedNVM, &s.hitNVMCleanerAdmitted,
 	} {
 		c.Store(0)
 	}

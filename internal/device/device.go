@@ -93,6 +93,8 @@ type Device struct {
 	writeOps     atomic.Int64
 	bytesRead    atomic.Int64 // media-granularity bytes
 	bytesWritten atomic.Int64 // media-granularity bytes
+
+	faults atomic.Pointer[Injector]
 }
 
 // New creates a device with the given parameters.
@@ -152,6 +154,44 @@ func (d *Device) Write(c *vclock.Clock, n int) int64 {
 	d.writeOps.Add(1)
 	d.bytesWritten.Add(media)
 	return media
+}
+
+// SetFaults attaches (or, with nil, detaches) a fault injector. Only the
+// checked ReadErr/WriteErr entry points consult it; the legacy Read/Write
+// paths below are deliberately fault-free so pricing-only call sites (memory
+// chargers, recovery cost accounting) never fail.
+func (d *Device) SetFaults(in *Injector) { d.faults.Store(in) }
+
+// Faults returns the attached fault injector, if any.
+func (d *Device) Faults() *Injector { return d.faults.Load() }
+
+// ReadErr is the checked variant of Read: it consults the attached fault
+// injector (charging injected stalls to the worker's clock) before charging
+// the transfer. Injected errors wrap ErrTransient, ErrPermanent or
+// ErrCrashed and name the tier.
+func (d *Device) ReadErr(c *vclock.Clock, n int) (int64, error) {
+	if in := d.faults.Load(); in != nil {
+		if err := in.beforeRead(c); err != nil {
+			return 0, fmt.Errorf("%s read: %w", d.p.Kind, err)
+		}
+	}
+	return d.Read(c, n), nil
+}
+
+// WriteErr is the checked variant of Write. A torn write (TornError in the
+// chain) still charges the full transfer — the bus traffic happened — and
+// the caller is responsible for applying only the torn prefix to media.
+func (d *Device) WriteErr(c *vclock.Clock, n int) (int64, error) {
+	if in := d.faults.Load(); in != nil {
+		if err := in.beforeWrite(c); err != nil {
+			if _, torn := IsTorn(err); torn {
+				media := d.Write(c, n)
+				return media, fmt.Errorf("%s write: %w", d.p.Kind, err)
+			}
+			return 0, fmt.Errorf("%s write: %w", d.p.Kind, err)
+		}
+	}
+	return d.Write(c, n), nil
 }
 
 // Stats is a point-in-time snapshot of a device's counters.

@@ -1,0 +1,309 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+// Fault classes. Every injected error wraps exactly one of these sentinels,
+// so consumers classify with errors.Is and never string-match.
+var (
+	// ErrTransient marks a fault that may succeed on retry (a flaky read,
+	// a failed write, a torn write whose payload can be rewritten).
+	ErrTransient = errors.New("transient I/O fault (injected)")
+	// ErrPermanent marks a device that has failed for good; retrying is
+	// useless and the tier should be taken out of the hierarchy.
+	ErrPermanent = errors.New("permanent device failure (injected)")
+	// ErrCrashed marks operations refused because the simulated machine
+	// crashed: a CrashSwitch tripped and all subsequent I/O on attached
+	// devices fails until the harness "reboots" (rearms the injectors).
+	ErrCrashed = errors.New("machine crashed (injected)")
+	// ErrTorn marks a write of which only a prefix reached media.
+	ErrTorn = errors.New("torn write (injected)")
+)
+
+// TornError reports an injected torn write: only the leading Frac of the
+// payload reached media before the fault hit. It matches both ErrTorn and
+// ErrTransient under errors.Is — a torn write can be retried in full unless
+// the tear came from a machine crash (in which case the operation that
+// follows it fails with ErrCrashed anyway).
+type TornError struct {
+	Frac float64 // fraction of the payload that reached media, in [0,1)
+}
+
+func (e *TornError) Error() string {
+	return fmt.Sprintf("torn write: %.0f%% of payload reached media (injected)", e.Frac*100)
+}
+
+// Is lets errors.Is(err, ErrTorn) and errors.Is(err, ErrTransient) both hold.
+func (e *TornError) Is(target error) bool {
+	return target == ErrTorn || target == ErrTransient
+}
+
+// IsTorn extracts the torn fraction from an error chain.
+func IsTorn(err error) (frac float64, ok bool) {
+	var te *TornError
+	if errors.As(err, &te) {
+		return te.Frac, true
+	}
+	return 0, false
+}
+
+// CrashSwitch models a whole-machine crash point shared by every injector of
+// a simulated host. Arm it with a write countdown; the Nth checked write
+// anywhere on the machine tears (a prefix reaches media as power dies) and
+// trips the switch, after which every checked operation on attached devices
+// returns ErrCrashed until the switch is rearmed. Torture harnesses use this
+// to kill the manager at a randomized I/O boundary, then roll volatile state
+// back and drive recovery.
+type CrashSwitch struct {
+	remaining atomic.Int64
+	armed     atomic.Bool
+	tripped   atomic.Bool
+}
+
+// NewCrashSwitch returns a disarmed, untripped switch.
+func NewCrashSwitch() *CrashSwitch { return &CrashSwitch{} }
+
+// Arm schedules the crash afterWrites checked writes from now and clears any
+// previous trip. afterWrites <= 0 leaves the switch disarmed (but still
+// clears the trip), which is how a harness "reboots" the machine.
+func (s *CrashSwitch) Arm(afterWrites int64) {
+	s.tripped.Store(false)
+	s.remaining.Store(afterWrites)
+	s.armed.Store(afterWrites > 0)
+}
+
+// Trip crashes the machine immediately.
+func (s *CrashSwitch) Trip() { s.armed.Store(false); s.tripped.Store(true) }
+
+// Tripped reports whether the machine has crashed.
+func (s *CrashSwitch) Tripped() bool { return s.tripped.Load() }
+
+// countdown decrements the write budget and reports whether this write is
+// the crash point. Exactly one writer observes true per arming.
+func (s *CrashSwitch) countdown() bool {
+	if !s.armed.Load() {
+		return false
+	}
+	if s.remaining.Add(-1) == 0 {
+		s.armed.Store(false)
+		return true
+	}
+	return false
+}
+
+// FaultConfig describes the fault mix an Injector draws from. The zero value
+// injects nothing. All probabilities are per checked operation.
+type FaultConfig struct {
+	// Seed makes the fault sequence deterministic for a given op order.
+	Seed uint64
+
+	// ReadErrProb / WriteErrProb inject transient errors.
+	ReadErrProb  float64
+	WriteErrProb float64
+
+	// TornWriteProb injects torn writes outside crash points: the write
+	// fails with a TornError after a random prefix reached media.
+	TornWriteProb float64
+
+	// StallProb charges StallNs extra simulated nanoseconds to the calling
+	// worker's virtual clock (a latency spike) before the operation runs.
+	StallProb float64
+	StallNs   int64
+
+	// FailAfterReads / FailAfterWrites fail the device permanently once it
+	// has served that many checked reads/writes. Zero means never.
+	FailAfterReads  int64
+	FailAfterWrites int64
+}
+
+// FaultStats counts what an injector actually did.
+type FaultStats struct {
+	Reads, Writes           int64 // checked operations seen
+	ReadErrors, WriteErrors int64 // transient errors injected
+	TornWrites              int64
+	Stalls                  int64
+	Failed                  bool // permanent failure reached
+	Crashed                 bool // attached crash switch tripped
+}
+
+// Injector is a seeded-deterministic fault source for one device. Attach it
+// with Device.SetFaults; only the checked ReadErr/WriteErr entry points
+// consult it, so legacy Read/Write call sites are unaffected.
+type Injector struct {
+	mu  sync.Mutex
+	cfg FaultConfig
+	rng *zipf.Rand
+
+	reads  atomic.Int64
+	writes atomic.Int64
+	failed atomic.Bool
+	crash  *CrashSwitch // optional, shared machine-wide
+
+	injReadErrs  atomic.Int64
+	injWriteErrs atomic.Int64
+	injTorn      atomic.Int64
+	injStalls    atomic.Int64
+}
+
+// NewInjector creates an injector with the given fault mix.
+func NewInjector(cfg FaultConfig) *Injector {
+	return &Injector{cfg: cfg, rng: zipf.NewRand(cfg.Seed | 1)}
+}
+
+// AttachCrash shares a machine-wide crash switch with this injector. Call
+// before concurrent use.
+func (in *Injector) AttachCrash(s *CrashSwitch) { in.crash = s }
+
+// Rearm swaps in a new fault mix, clears the permanent-failure latch and op
+// counters, and reseeds the fault sequence. Harnesses call it between
+// crash-recover cycles. The attached crash switch is kept (rearm it
+// separately via CrashSwitch.Arm).
+func (in *Injector) Rearm(cfg FaultConfig) {
+	in.mu.Lock()
+	in.cfg = cfg
+	in.rng = zipf.NewRand(cfg.Seed | 1)
+	in.mu.Unlock()
+	in.failed.Store(false)
+	in.reads.Store(0)
+	in.writes.Store(0)
+}
+
+// FailNow latches the device permanently failed.
+func (in *Injector) FailNow() { in.failed.Store(true) }
+
+// Failed reports whether the device is permanently failed.
+func (in *Injector) Failed() bool { return in.failed.Load() }
+
+// Crashed reports whether the attached crash switch (if any) has tripped.
+func (in *Injector) Crashed() bool { return in.crash != nil && in.crash.Tripped() }
+
+// Stats snapshots the injector's counters.
+func (in *Injector) Stats() FaultStats {
+	return FaultStats{
+		Reads:       in.reads.Load(),
+		Writes:      in.writes.Load(),
+		ReadErrors:  in.injReadErrs.Load(),
+		WriteErrors: in.injWriteErrs.Load(),
+		TornWrites:  in.injTorn.Load(),
+		Stalls:      in.injStalls.Load(),
+		Failed:      in.failed.Load(),
+		Crashed:     in.Crashed(),
+	}
+}
+
+// clockAdvancer is the subset of vclock.Clock the injector needs to charge
+// latency spikes (an interface so this file has no vclock import).
+type clockAdvancer interface{ Advance(ns int64) }
+
+// draw rolls the stall, error and torn-write dice under the injector's lock
+// so the fault sequence is deterministic for a deterministic op order.
+func (in *Injector) draw(isWrite bool) (stallNs int64, errHit, tornHit bool, tornFrac float64) {
+	in.mu.Lock()
+	cfg := in.cfg
+	if cfg.StallProb > 0 && in.rng.Float64() < cfg.StallProb {
+		stallNs = cfg.StallNs
+	}
+	errProb := cfg.ReadErrProb
+	if isWrite {
+		errProb = cfg.WriteErrProb
+	}
+	if errProb > 0 && in.rng.Float64() < errProb {
+		errHit = true
+	} else if isWrite && cfg.TornWriteProb > 0 && in.rng.Float64() < cfg.TornWriteProb {
+		tornHit = true
+		tornFrac = in.rng.Float64()
+	}
+	in.mu.Unlock()
+	return
+}
+
+// tornFracDraw draws a crash-point tear fraction.
+func (in *Injector) tornFracDraw() float64 {
+	in.mu.Lock()
+	f := in.rng.Float64()
+	in.mu.Unlock()
+	return f
+}
+
+func (in *Injector) failAfter(isWrite bool) int64 {
+	in.mu.Lock()
+	n := in.cfg.FailAfterReads
+	if isWrite {
+		n = in.cfg.FailAfterWrites
+	}
+	in.mu.Unlock()
+	return n
+}
+
+// beforeRead decides the fate of one checked read, charging any injected
+// stall to the caller's clock. A non-nil result fails the read.
+func (in *Injector) beforeRead(c clockAdvancer) error {
+	if in.Crashed() {
+		return ErrCrashed
+	}
+	if in.failed.Load() {
+		return ErrPermanent
+	}
+	n := in.reads.Add(1)
+	if fa := in.failAfter(false); fa > 0 && n > fa {
+		in.failed.Store(true)
+		return ErrPermanent
+	}
+	stall, errHit, _, _ := in.draw(false)
+	if stall > 0 {
+		in.injStalls.Add(1)
+		if c != nil {
+			c.Advance(stall)
+		}
+	}
+	if errHit {
+		in.injReadErrs.Add(1)
+		return ErrTransient
+	}
+	return nil
+}
+
+// beforeWrite decides the fate of one checked write.
+func (in *Injector) beforeWrite(c clockAdvancer) error {
+	if in.Crashed() {
+		return ErrCrashed
+	}
+	if in.failed.Load() {
+		return ErrPermanent
+	}
+	n := in.writes.Add(1)
+	if fa := in.failAfter(true); fa > 0 && n > fa {
+		in.failed.Store(true)
+		return ErrPermanent
+	}
+	if in.crash != nil && in.crash.countdown() {
+		// The crash-point write tears: a random prefix reaches media as
+		// the machine dies; everything after it sees ErrCrashed.
+		frac := in.tornFracDraw()
+		in.crash.Trip()
+		in.injTorn.Add(1)
+		return &TornError{Frac: frac}
+	}
+	stall, errHit, tornHit, frac := in.draw(true)
+	if stall > 0 {
+		in.injStalls.Add(1)
+		if c != nil {
+			c.Advance(stall)
+		}
+	}
+	if errHit {
+		in.injWriteErrs.Add(1)
+		return ErrTransient
+	}
+	if tornHit {
+		in.injTorn.Add(1)
+		return &TornError{Frac: frac}
+	}
+	return nil
+}

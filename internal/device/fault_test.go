@@ -1,0 +1,192 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/vclock"
+)
+
+// drive runs n alternating checked reads/writes and records which ops failed
+// and with what class, as a compact signature string.
+func drive(d *Device, n int) string {
+	c := vclock.New()
+	sig := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if i%2 == 0 {
+			_, err = d.ReadErr(c, 4096)
+		} else {
+			_, err = d.WriteErr(c, 4096)
+		}
+		switch {
+		case err == nil:
+			sig = append(sig, '.')
+		case errors.Is(err, ErrTorn):
+			sig = append(sig, 'T')
+		case errors.Is(err, ErrTransient):
+			sig = append(sig, 't')
+		case errors.Is(err, ErrPermanent):
+			sig = append(sig, 'P')
+		case errors.Is(err, ErrCrashed):
+			sig = append(sig, 'C')
+		default:
+			sig = append(sig, '?')
+		}
+	}
+	return string(sig)
+}
+
+// TestInjectorDeterminism: the same seed and op order must produce the same
+// fault pattern, and a different seed a different one.
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, ReadErrProb: 0.1, WriteErrProb: 0.1, TornWriteProb: 0.05}
+	mk := func(seed uint64) *Device {
+		d := New(NVMParams)
+		c := cfg
+		c.Seed = seed
+		d.SetFaults(NewInjector(c))
+		return d
+	}
+	a, b := drive(mk(42), 400), drive(mk(42), 400)
+	if a != b {
+		t.Fatalf("same seed produced different fault sequences:\n%s\n%s", a, b)
+	}
+	if c := drive(mk(1000), 400); c == a {
+		t.Error("different seed produced an identical fault sequence")
+	}
+	var fails int
+	for _, ch := range a {
+		if ch != '.' {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("no faults injected at 10% probability over 400 ops")
+	}
+}
+
+// TestCrashSwitch: the armed countdown tears exactly the Nth checked write,
+// trips the machine, fails everything afterwards with ErrCrashed, and Arm(0)
+// reboots.
+func TestCrashSwitch(t *testing.T) {
+	d := New(SSDParams)
+	in := NewInjector(FaultConfig{Seed: 7})
+	sw := NewCrashSwitch()
+	in.AttachCrash(sw)
+	d.SetFaults(in)
+	sw.Arm(3)
+
+	c := vclock.New()
+	for i := 0; i < 2; i++ {
+		if _, err := d.WriteErr(c, 512); err != nil {
+			t.Fatalf("write %d before the crash point failed: %v", i, err)
+		}
+	}
+	_, err := d.WriteErr(c, 512)
+	if err == nil {
+		t.Fatal("crash-point write succeeded")
+	}
+	if !errors.Is(err, ErrTorn) || !errors.Is(err, ErrTransient) {
+		t.Errorf("crash-point write error %v should match both ErrTorn and ErrTransient", err)
+	}
+	if frac, ok := IsTorn(err); !ok || frac < 0 || frac >= 1 {
+		t.Errorf("IsTorn(%v) = %v, %v; want a fraction in [0,1)", err, frac, ok)
+	}
+	if !sw.Tripped() || !in.Crashed() {
+		t.Fatal("crash switch did not trip at the crash point")
+	}
+	if _, err := d.WriteErr(c, 512); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash write error = %v, want ErrCrashed", err)
+	}
+	if _, err := d.ReadErr(c, 512); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash read error = %v, want ErrCrashed", err)
+	}
+
+	sw.Arm(0) // reboot: clears the trip, leaves the switch disarmed
+	if sw.Tripped() {
+		t.Fatal("Arm(0) did not clear the trip")
+	}
+	if _, err := d.WriteErr(c, 512); err != nil {
+		t.Errorf("write after reboot failed: %v", err)
+	}
+	if st := in.Stats(); st.TornWrites != 1 {
+		t.Errorf("TornWrites = %d, want 1", st.TornWrites)
+	}
+}
+
+// TestFailAfterLatch: the device fails permanently after the configured write
+// budget, stays failed for reads too, and Rearm clears the latch.
+func TestFailAfterLatch(t *testing.T) {
+	d := New(NVMParams)
+	in := NewInjector(FaultConfig{Seed: 1, FailAfterWrites: 2})
+	d.SetFaults(in)
+	c := vclock.New()
+
+	for i := 0; i < 2; i++ {
+		if _, err := d.WriteErr(c, 256); err != nil {
+			t.Fatalf("write %d within budget failed: %v", i, err)
+		}
+	}
+	if _, err := d.WriteErr(c, 256); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("write past budget error = %v, want ErrPermanent", err)
+	}
+	if !in.Failed() {
+		t.Fatal("injector did not latch Failed")
+	}
+	if _, err := d.ReadErr(c, 256); !errors.Is(err, ErrPermanent) {
+		t.Errorf("read on failed device error = %v, want ErrPermanent", err)
+	}
+
+	in.Rearm(FaultConfig{Seed: 1})
+	if in.Failed() {
+		t.Fatal("Rearm did not clear the permanent-failure latch")
+	}
+	if _, err := d.WriteErr(c, 256); err != nil {
+		t.Errorf("write after Rearm failed: %v", err)
+	}
+}
+
+// TestFailNow latches immediately without any budget.
+func TestFailNow(t *testing.T) {
+	d := New(NVMParams)
+	in := NewInjector(FaultConfig{Seed: 1})
+	d.SetFaults(in)
+	in.FailNow()
+	if _, err := d.WriteErr(vclock.New(), 64); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("write after FailNow error = %v, want ErrPermanent", err)
+	}
+}
+
+// TestStallChargesClock: an injected latency spike is simulated time on the
+// caller's virtual clock, not wall time.
+func TestStallChargesClock(t *testing.T) {
+	const stall = 123_456
+	base := New(SSDParams)
+	spiky := New(SSDParams)
+	spiky.SetFaults(NewInjector(FaultConfig{Seed: 9, StallProb: 1, StallNs: stall}))
+
+	cb, cs := vclock.New(), vclock.New()
+	if _, err := base.ReadErr(cb, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spiky.ReadErr(cs, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Now() - cb.Now(); got != stall {
+		t.Errorf("stall charged %d ns to the clock, want %d", got, stall)
+	}
+	if st := spiky.Faults().Stats(); st.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", st.Stalls)
+	}
+}
+
+// TestIsTornOnPlainError: IsTorn must not match non-torn chains.
+func TestIsTornOnPlainError(t *testing.T) {
+	if _, ok := IsTorn(ErrTransient); ok {
+		t.Error("IsTorn matched a plain transient error")
+	}
+	if _, ok := IsTorn(nil); ok {
+		t.Error("IsTorn matched nil")
+	}
+}

@@ -1,0 +1,71 @@
+package harness
+
+import "testing"
+
+// TestTortureSmoke runs a short randomized crash-recover torture: every
+// cycle kills the machine at an injected crash point, recovers, audits the
+// buffer manager's structure and checks that no acknowledged write was lost
+// and no torn or phantom value surfaced.
+func TestTortureSmoke(t *testing.T) {
+	opts := TortureOpts{Cycles: 8, Workers: 3, Keys: 512, OpsPerCycle: 60, Seed: 0x7E57}
+	if testing.Short() {
+		opts.Cycles = 3
+	}
+	res, err := Torture(opts)
+	if err != nil {
+		t.Fatalf("torture: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if res.Cycles != opts.Cycles {
+		t.Errorf("completed %d cycles, want %d", res.Cycles, opts.Cycles)
+	}
+	if res.Commits == 0 {
+		t.Error("no transactions committed across the torture run")
+	}
+	if res.MidRunTrips == 0 {
+		t.Error("no cycle crashed mid-workload; crash points are not being exercised")
+	}
+	t.Logf("cycles=%d commits=%d opErrs=%d midRunTrips=%d torn=%d recovery=%+v",
+		res.Cycles, res.Commits, res.OpErrors, res.MidRunTrips, res.TornWrites, res.Recovery)
+}
+
+// TestTortureWithTransients layers transient read/write/torn faults on the
+// NVM data arena on top of the crash points, exercising the retry paths
+// under the same invariants.
+func TestTortureWithTransients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Torture(TortureOpts{
+		Cycles: 5, Workers: 3, Keys: 512, OpsPerCycle: 60,
+		Seed: 0xFA17, TransientProb: 0.01,
+	})
+	if err != nil {
+		t.Fatalf("torture: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+}
+
+// TestDegradedRun fails the NVM data arena permanently mid-run and checks
+// the manager collapses to two-tier DRAM-SSD mode and keeps committing.
+func TestDegradedRun(t *testing.T) {
+	res, err := Degraded(DegradedOpts{Workers: 3, OpsPerWorker: 300, FailAfterWrites: 200, Seed: 2})
+	if err != nil {
+		t.Fatalf("degraded run: %v (result %+v)", err, res)
+	}
+	if !res.Degraded {
+		t.Fatal("NVM tier did not degrade")
+	}
+	if res.TailCommits == 0 {
+		t.Fatal("no commits in degraded mode")
+	}
+	if res.Stats.NVMDegraded == 0 {
+		t.Error("NVMDegraded stat not recorded")
+	}
+	t.Logf("committed=%d aborted=%d opErrs=%d tail=%d orphaned=%d",
+		res.Committed, res.Aborted, res.OpErrors, res.TailCommits, res.Stats.NVMOrphanedPages)
+}

@@ -103,6 +103,86 @@ func (p *PMem) Write(c *vclock.Clock, off int64, data []byte) {
 	copy(p.data[off:off+int64(len(data))], data)
 }
 
+// ReadErr is the checked variant of Read: it consults the device's fault
+// injector (if attached) and fails without copying when the read faults.
+func (p *PMem) ReadErr(c *vclock.Clock, off int64, buf []byte) error {
+	p.check(off, len(buf))
+	if _, err := p.dev.ReadErr(c, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, p.data[off:off+int64(len(buf))])
+	return nil
+}
+
+// WriteErr is the checked variant of Write. On a torn write, the fault's
+// prefix fraction of data genuinely reaches the arena AND is persisted
+// (power loss flushes lines in arbitrary order, so the torn prefix must be
+// assumed durable); the remainder of the range is untouched. Callers that
+// need crash-atomic installs must therefore order payload writes before the
+// validity marker.
+func (p *PMem) WriteErr(c *vclock.Clock, off int64, data []byte) error {
+	p.check(off, len(data))
+	if _, err := p.dev.WriteErr(c, len(data)); err != nil {
+		if frac, torn := device.IsTorn(err); torn {
+			n := int(frac * float64(len(data)))
+			if n > len(data) {
+				n = len(data)
+			}
+			// Aligned stores of at most 8 bytes are torn-atomic (x86-64
+			// guarantees 8-byte store atomicity on pmem): model "nothing
+			// landed" rather than a garbled word. The WAL's extent word
+			// relies on this.
+			if len(data) <= 8 && off%8 == 0 {
+				n = 0
+			}
+			if n > 0 {
+				if p.trackCrashes {
+					p.saveShadow(off, n)
+				}
+				copy(p.data[off:off+int64(n)], data[:n])
+				p.dropShadows(off, n)
+			}
+		}
+		return err
+	}
+	if p.trackCrashes {
+		p.saveShadow(off, len(data))
+	}
+	copy(p.data[off:off+int64(len(data))], data)
+	return nil
+}
+
+// PersistErr is the checked variant of Persist: it fails (without dropping
+// shadows) when the device is crashed or permanently failed, so an sfence
+// on a dead DIMM does not count as durability.
+func (p *PMem) PersistErr(c *vclock.Clock, off int64, n int) error {
+	if in := p.dev.Faults(); in != nil {
+		if in.Crashed() {
+			return fmt.Errorf("%s persist: %w", p.dev.Kind(), device.ErrCrashed)
+		}
+		if in.Failed() {
+			return fmt.Errorf("%s persist: %w", p.dev.Kind(), device.ErrPermanent)
+		}
+	}
+	p.Persist(c, off, n)
+	return nil
+}
+
+// dropShadows marks the covered lines persisted without charging the clock
+// (used for torn prefixes, which power loss itself flushes).
+func (p *PMem) dropShadows(off int64, n int) {
+	if !p.trackCrashes || n <= 0 {
+		return
+	}
+	first := off / CacheLineSize
+	last := (off + int64(n) - 1) / CacheLineSize
+	p.mu.Lock()
+	for line := first; line <= last; line++ {
+		delete(p.shadow, line)
+	}
+	p.mu.Unlock()
+}
+
 // saveShadow records the pre-image of every cache line the write touches,
 // unless a pre-image for that line is already pending.
 func (p *PMem) saveShadow(off int64, n int) {

@@ -84,16 +84,24 @@ func (s *MemStore) ReadPage(c *vclock.Clock, pid uint64, buf []byte) error {
 	if !ok {
 		return fmt.Errorf("ssd: page %d does not exist", pid)
 	}
-	s.dev.Read(c, PageSize)
+	if _, err := s.dev.ReadErr(c, PageSize); err != nil {
+		return fmt.Errorf("ssd: read page %d: %w", pid, err)
+	}
 	return nil
 }
 
-// WritePage implements Store.
+// WritePage implements Store. Page writes are modeled failure-atomic: real
+// SSDs complete or discard a sector-aligned page program from their
+// power-loss-protected buffer, so an injected torn write surfaces as an
+// error without corrupting the previous page image (torn-write *data*
+// effects belong to the byte-addressable NVM tier and the log).
 func (s *MemStore) WritePage(c *vclock.Clock, pid uint64, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("ssd: write buffer is %d bytes, want %d", len(buf), PageSize)
 	}
-	s.dev.Write(c, PageSize)
+	if _, err := s.dev.WriteErr(c, PageSize); err != nil {
+		return fmt.Errorf("ssd: write page %d: %w", pid, err)
+	}
 	sh := s.shard(pid)
 	sh.mu.Lock()
 	p, ok := sh.pages[pid]
@@ -180,16 +188,21 @@ func (s *FileStore) ReadPage(c *vclock.Clock, pid uint64, buf []byte) error {
 	if _, err := s.f.ReadAt(buf, int64(pid)*PageSize); err != nil {
 		return fmt.Errorf("ssd: read page %d: %w", pid, err)
 	}
-	s.dev.Read(c, PageSize)
+	if _, err := s.dev.ReadErr(c, PageSize); err != nil {
+		return fmt.Errorf("ssd: read page %d: %w", pid, err)
+	}
 	return nil
 }
 
-// WritePage implements Store.
+// WritePage implements Store. As with MemStore, page writes are
+// failure-atomic: injected faults fail the write without touching the file.
 func (s *FileStore) WritePage(c *vclock.Clock, pid uint64, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("ssd: write buffer is %d bytes, want %d", len(buf), PageSize)
 	}
-	s.dev.Write(c, PageSize)
+	if _, err := s.dev.WriteErr(c, PageSize); err != nil {
+		return fmt.Errorf("ssd: write page %d: %w", pid, err)
+	}
 	if _, err := s.f.WriteAt(buf, int64(pid)*PageSize); err != nil {
 		return fmt.Errorf("ssd: write page %d: %w", pid, err)
 	}

@@ -15,8 +15,11 @@ func FuzzDecodeOne(f *testing.F) {
 	f.Add(make([]byte, 64))
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, n, ok := decodeOne(data)
-		if !ok {
+		got, n, status := decodeOne(data)
+		if status != decodeOK {
+			if n != 0 {
+				t.Fatalf("failed decode consumed %d bytes", n)
+			}
 			return
 		}
 		if n <= 0 || n > len(data) {

@@ -29,9 +29,21 @@ func NewMemLog(dev *device.Device) *MemLog {
 // Device returns the cost model in use.
 func (l *MemLog) Device() *device.Device { return l.dev }
 
-// Append implements LogStore.
+// Append implements LogStore. An injected torn write genuinely appends only
+// the torn prefix of data (the log is byte-appended, so a partial batch is
+// exactly what a mid-flush crash leaves behind); recovery's resync scan and
+// LSN dedup are what make that safe.
 func (l *MemLog) Append(c *vclock.Clock, data []byte) error {
-	l.dev.Write(c, len(data))
+	if _, err := l.dev.WriteErr(c, len(data)); err != nil {
+		if frac, torn := device.IsTorn(err); torn {
+			if n := int(frac * float64(len(data))); n > 0 && n <= len(data) {
+				l.mu.Lock()
+				l.buf = append(l.buf, data[:n]...)
+				l.mu.Unlock()
+			}
+		}
+		return err
+	}
 	l.mu.Lock()
 	l.buf = append(l.buf, data...)
 	l.mu.Unlock()
@@ -43,13 +55,17 @@ func (l *MemLog) ReadAll(c *vclock.Clock) ([]byte, error) {
 	l.mu.Lock()
 	out := append([]byte(nil), l.buf...)
 	l.mu.Unlock()
-	l.dev.Read(c, len(out))
+	if _, err := l.dev.ReadErr(c, len(out)); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // Truncate implements LogStore.
 func (l *MemLog) Truncate(c *vclock.Clock) error {
-	l.dev.Write(c, 1)
+	if _, err := l.dev.WriteErr(c, 1); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	l.buf = l.buf[:0]
 	l.mu.Unlock()

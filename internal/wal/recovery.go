@@ -20,6 +20,31 @@ type Applier interface {
 	ApplyUndo(c *vclock.Clock, rec *Record) error
 }
 
+// RecoveryStats surfaces what the log scans had to tolerate. A clean
+// shutdown recovers with every damage counter at zero; after injected
+// faults, these counters are how a torture harness distinguishes "recovery
+// coped with the mess" from "the mess never happened".
+type RecoveryStats struct {
+	// BufferRecords / FileRecords count records recovered from the NVM
+	// buffer tail and the SSD log file respectively.
+	BufferRecords int
+	FileRecords   int
+	// ChecksumMismatches counts damaged regions encountered: torn records
+	// in the buffer tail and corrupt stretches of the file the resync scan
+	// skipped past.
+	ChecksumMismatches int
+	// SkippedBytes counts file bytes skipped to resync past damage (a torn
+	// store.Append whose batch a later retry re-appended in full).
+	SkippedBytes int
+	// TruncatedTailBytes counts trailing bytes discarded as a torn tail
+	// (buffer or file) with no valid record after them.
+	TruncatedTailBytes int
+	// DuplicateLSNs counts records dropped because they appeared twice —
+	// the signature of a retried flush or a crash between the SSD append
+	// and the buffer reset.
+	DuplicateLSNs int
+}
+
 // RecoveredLog is the completed, parsed log plus the analysis-pass outcome.
 type RecoveredLog struct {
 	Records   []Record
@@ -27,17 +52,29 @@ type RecoveredLog struct {
 	Aborted   map[uint64]bool
 	Losers    map[uint64]bool // began but neither committed nor aborted
 	MaxLSN    uint64
+	Stats     RecoveryStats
 }
 
-// ScanBuffer parses the surviving NVM log buffer (used by RecoverManager
-// and by tests).
+// ScanBuffer parses the surviving NVM log buffer (used by Recover and by
+// tests).
 func ScanBuffer(c *vclock.Clock, pm *pmem.PMem) []Record {
+	var st RecoveryStats
+	return ScanBufferStats(c, pm, &st)
+}
+
+// ScanBufferStats parses the surviving NVM log buffer, accumulating damage
+// counts into st. The buffer scan stops at the first bad frame rather than
+// resyncing: records are appended strictly in order and each is persisted
+// before the extent advances, so the only record a crash can tear is the
+// last one — anything after the first failure is a torn tail, and resyncing
+// into it could resurrect stale pre-truncate bytes.
+func ScanBufferStats(c *vclock.Clock, pm *pmem.PMem, st *RecoveryStats) []Record {
 	if pm.Size() < bufHeaderSize {
 		return nil
 	}
 	var hdr [16]byte
 	pm.Read(c, 0, hdr[:])
-	if le64(hdr[0:]) != 0x53504657414C3031 {
+	if le64(hdr[0:]) != walBufMagic {
 		return nil
 	}
 	off := int64(le64(hdr[8:]))
@@ -48,12 +85,54 @@ func ScanBuffer(c *vclock.Clock, pm *pmem.PMem) []Record {
 	pm.Read(c, bufHeaderSize, live)
 	var recs []Record
 	for len(live) > 0 {
-		rec, n, ok := decodeOne(live)
-		if !ok {
+		rec, n, status := decodeOne(live)
+		if status != decodeOK {
+			if status == decodeCorrupt {
+				st.ChecksumMismatches++
+			}
+			st.TruncatedTailBytes += len(live)
 			break
 		}
 		recs = append(recs, rec)
 		live = live[n:]
+	}
+	st.BufferRecords += len(recs)
+	return recs
+}
+
+// scanResync parses every record it can find in raw, skipping damaged
+// regions byte-by-byte until a later valid frame appears. The SSD log file
+// needs this (unlike the buffer): a torn store.Append leaves a partial batch
+// mid-file, and the successful retry that follows re-appends the batch in
+// full — the good copies sit *after* the damage. The 32-bit frame checksum
+// makes a false resync (a "valid" record materializing out of garbage)
+// vanishingly unlikely, and LSN dedup in Recover drops the duplicates.
+func scanResync(raw []byte, st *RecoveryStats) []Record {
+	var recs []Record
+	i, lastGood := 0, 0
+	inBad := false
+	for i < len(raw) {
+		rec, n, status := decodeOne(raw[i:])
+		if status == decodeOK {
+			if i > lastGood {
+				st.SkippedBytes += i - lastGood
+			}
+			recs = append(recs, rec)
+			i += n
+			lastGood = i
+			inBad = false
+			continue
+		}
+		if !inBad {
+			inBad = true
+			if status == decodeCorrupt {
+				st.ChecksumMismatches++
+			}
+		}
+		i++
+	}
+	if tail := len(raw) - lastGood; tail > 0 {
+		st.TruncatedTailBytes += tail
 	}
 	return recs
 }
@@ -75,8 +154,10 @@ func le64(b []byte) uint64 {
 // It returns a fresh Manager positioned after the recovered log, plus the
 // recovered-log summary.
 func Recover(c *vclock.Clock, opt Options, app Applier) (*Manager, *RecoveredLog, error) {
+	var stats RecoveryStats
+
 	// Step 1: complete the log.
-	tail := ScanBuffer(c, opt.Buffer)
+	tail := ScanBufferStats(c, opt.Buffer, &stats)
 	var tailBytes []byte
 	for i := range tail {
 		tailBytes = tail[i].encode(tailBytes)
@@ -87,7 +168,7 @@ func Recover(c *vclock.Clock, opt Options, app Applier) (*Manager, *RecoveredLog
 		}
 	}
 
-	// Parse the full log.
+	// Parse the full log, resyncing past any damage a torn append left.
 	raw, err := opt.Store.ReadAll(c)
 	if err != nil {
 		return nil, nil, err
@@ -97,15 +178,30 @@ func Recover(c *vclock.Clock, opt Options, app Applier) (*Manager, *RecoveredLog
 		Aborted:   make(map[uint64]bool),
 		Losers:    make(map[uint64]bool),
 	}
-	for len(raw) > 0 {
-		rec, n, ok := decodeOne(raw)
-		if !ok {
-			break
-		}
-		rl.Records = append(rl.Records, rec)
-		raw = raw[n:]
-	}
+	rl.Records = scanResync(raw, &stats)
+	stats.FileRecords = len(rl.Records)
 	sort.SliceStable(rl.Records, func(i, j int) bool { return rl.Records[i].LSN < rl.Records[j].LSN })
+
+	// Drop duplicate LSNs: a retried flush (or a crash between the SSD
+	// append and the buffer reset) appends the same records twice. The
+	// copies are byte-identical, so keeping the first of each LSN is exact.
+	// LSN 0 is never assigned by Append and is exempt (hand-built records
+	// in tests use it).
+	if len(rl.Records) > 1 {
+		out := rl.Records[:0]
+		havePrev := false
+		var prev uint64
+		for _, rec := range rl.Records {
+			if havePrev && rec.LSN != 0 && rec.LSN == prev {
+				stats.DuplicateLSNs++
+				continue
+			}
+			prev, havePrev = rec.LSN, true
+			out = append(out, rec)
+		}
+		rl.Records = out
+	}
+	rl.Stats = stats
 
 	// Step 2: analysis.
 	for i := range rl.Records {

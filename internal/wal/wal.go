@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/spitfire-db/spitfire/internal/device"
 	"github.com/spitfire-db/spitfire/internal/pmem"
 	"github.com/spitfire-db/spitfire/internal/vclock"
 )
@@ -105,21 +106,38 @@ func (r *Record) encode(dst []byte) []byte {
 	return dst
 }
 
-// decodeOne parses one framed record from b, returning the record and the
-// bytes consumed. A zero length, short frame, or checksum mismatch yields
-// ok=false: the scan has reached the end of valid log.
-func decodeOne(b []byte) (rec Record, n int, ok bool) {
+// decodeStatus classifies why a frame failed to decode, so recovery can
+// distinguish a clean end of log from damage it skipped past.
+type decodeStatus int
+
+const (
+	decodeOK      decodeStatus = iota
+	decodeShort                // not enough bytes: clean end of log / zeroed tail
+	decodeCorrupt              // bytes present but damaged (checksum or length lies)
+)
+
+// decodeOne parses one framed record from b, returning the record, the bytes
+// consumed, and a status: decodeShort when b ends before a whole frame could
+// exist (the normal end of a scan), decodeCorrupt when a frame-sized extent
+// is present but fails validation (a torn or overwritten record).
+func decodeOne(b []byte) (rec Record, n int, status decodeStatus) {
 	le := binary.LittleEndian
 	if len(b) < 8 {
-		return rec, 0, false
+		return rec, 0, decodeShort
 	}
 	bodyLen := int(le.Uint32(b[0:]))
-	if bodyLen < recHeaderSize || len(b) < 8+bodyLen {
-		return rec, 0, false
+	if bodyLen == 0 {
+		return rec, 0, decodeShort // zeroed tail
+	}
+	if bodyLen < recHeaderSize {
+		return rec, 0, decodeCorrupt
+	}
+	if len(b) < 8+bodyLen {
+		return rec, 0, decodeShort
 	}
 	body := b[8 : 8+bodyLen]
 	if checksum(body) != le.Uint32(b[4:]) {
-		return rec, 0, false
+		return rec, 0, decodeCorrupt
 	}
 	rec.LSN = le.Uint64(body[0:])
 	rec.TxnID = le.Uint64(body[8:])
@@ -131,15 +149,16 @@ func decodeOne(b []byte) (rec Record, n int, ok bool) {
 	beforeLen := int(le.Uint32(body[39:]))
 	afterLen := int(le.Uint32(body[43:]))
 	if recHeaderSize+beforeLen+afterLen != bodyLen {
-		return rec, 0, false
+		return rec, 0, decodeCorrupt
 	}
 	rec.Before = append([]byte(nil), body[recHeaderSize:recHeaderSize+beforeLen]...)
 	rec.After = append([]byte(nil), body[recHeaderSize+beforeLen:]...)
-	return rec, 8 + bodyLen, true
+	return rec, 8 + bodyLen, decodeOK
 }
 
-// checksum is a simple FNV-1a over the body; it exists to stop recovery
-// scans at the first torn record, not to defend against corruption.
+// checksum is a simple FNV-1a over the body; it lets recovery detect torn
+// records in the NVM buffer's tail and resync past damaged regions of the
+// SSD log file.
 func checksum(b []byte) uint32 {
 	h := uint32(2166136261)
 	for _, c := range b {
@@ -169,17 +188,29 @@ type Options struct {
 	// the SSD log once the buffer holds this many bytes. Defaults to half
 	// the buffer.
 	FlushThreshold int64
+
+	// MaxRetries bounds how many times a faulting buffer write or log
+	// append is retried before the error is surfaced (default 4; negative
+	// disables retries). Each retry charges RetryBackoffNs simulated
+	// nanoseconds to the appending worker's clock, doubling per attempt.
+	MaxRetries     int
+	RetryBackoffNs int64
 }
 
 // bufHeaderSize reserves space at the front of the NVM buffer for the
 // persisted write offset, so recovery knows how much of the buffer is live.
 const bufHeaderSize = pmem.CacheLineSize
 
+// walBufMagic ("SPFWAL01") marks an initialized NVM log buffer.
+const walBufMagic = 0x53504657414C3031
+
 // Manager is the write-ahead log manager.
 type Manager struct {
 	pm        *pmem.PMem
 	store     LogStore
 	threshold int64
+	retries   int
+	backoffNs int64
 
 	mu      sync.Mutex
 	bufOff  int64  // next free byte in the NVM buffer
@@ -204,24 +235,76 @@ func New(opt Options) (*Manager, error) {
 	if th <= 0 {
 		th = opt.Buffer.Size() / 2
 	}
-	m := &Manager{pm: opt.Buffer, store: opt.Store, threshold: th, bufOff: bufHeaderSize}
+	retries := opt.MaxRetries
+	if retries == 0 {
+		retries = 4
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := opt.RetryBackoffNs
+	if backoff <= 0 {
+		backoff = 20_000 // 20µs simulated
+	}
+	m := &Manager{
+		pm: opt.Buffer, store: opt.Store, threshold: th,
+		retries: retries, backoffNs: backoff, bufOff: bufHeaderSize,
+	}
 	m.nextLSN.Store(1)
 	ctx := vclock.New()
-	m.persistOffset(ctx)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], walBufMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(m.bufOff))
+	if err := m.retry(ctx, func() error {
+		if err := m.pm.WriteErr(ctx, 0, hdr[:]); err != nil {
+			return err
+		}
+		return m.pm.PersistErr(ctx, 0, len(hdr))
+	}); err != nil {
+		return nil, fmt.Errorf("wal: initializing log buffer: %w", err)
+	}
 	return m, nil
+}
+
+// retry runs op, retrying transient faults with exponential backoff charged
+// to the worker's virtual clock. Permanent and crash faults abort at once.
+func (m *Manager) retry(c *vclock.Clock, op func() error) error {
+	back := m.backoffNs
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if errors.Is(err, device.ErrPermanent) || errors.Is(err, device.ErrCrashed) {
+			return err
+		}
+		if attempt >= m.retries {
+			return err
+		}
+		c.Advance(back)
+		if back *= 2; back > 2_000_000 {
+			back = 2_000_000
+		}
+	}
 }
 
 // NextLSN returns the LSN the next appended record will receive.
 func (m *Manager) NextLSN() uint64 { return m.nextLSN.Load() }
 
 // persistOffset persists the live-buffer extent. Caller holds mu (or is
-// single-threaded setup/recovery).
-func (m *Manager) persistOffset(c *vclock.Clock) {
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:], 0x53504657414C3031) // "SPFWAL01"
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(m.bufOff))
-	m.pm.Write(c, 0, hdr[:])
-	m.pm.Persist(c, 0, len(hdr))
+// single-threaded setup/recovery). Only the 8-byte offset word is written —
+// an aligned 8-byte pmem store is torn-atomic, so a crash leaves either the
+// old or the new extent, never a garbled one (the magic word is written once
+// at New and never touched again).
+func (m *Manager) persistOffset(c *vclock.Clock) error {
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(m.bufOff))
+	return m.retry(c, func() error {
+		if err := m.pm.WriteErr(c, 8, word[:]); err != nil {
+			return err
+		}
+		return m.pm.PersistErr(c, 8, len(word))
+	})
 }
 
 // Append assigns the record an LSN, persists it in the NVM log buffer, and
@@ -246,10 +329,25 @@ func (m *Manager) Append(c *vclock.Clock, rec *Record) (uint64, error) {
 		}
 	}
 	off := m.bufOff
-	m.pm.Write(c, off, frame)
-	m.pm.Persist(c, off, len(frame))
+	// Record bytes persist before the extent word advances past them: a
+	// crash mid-append leaves the extent pointing at the last whole record,
+	// so a torn record is invisible to recovery and the append is simply
+	// unacknowledged. A torn write retries by rewriting the full frame.
+	if err := m.retry(c, func() error {
+		if err := m.pm.WriteErr(c, off, frame); err != nil {
+			return err
+		}
+		return m.pm.PersistErr(c, off, len(frame))
+	}); err != nil {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
 	m.bufOff = off + int64(len(frame))
-	m.persistOffset(c)
+	if err := m.persistOffset(c); err != nil {
+		m.bufOff = off // record never became visible
+		m.mu.Unlock()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
 	needFlush := m.bufOff-bufHeaderSize >= m.threshold
 	var err error
 	if needFlush {
@@ -271,19 +369,30 @@ func (m *Manager) Flush(c *vclock.Clock) error {
 }
 
 // flushLocked appends buffer contents to the SSD log and resets the buffer.
-// Caller holds mu.
+// Caller holds mu. On failure the buffer is kept intact, so no record is
+// lost: a torn append leaves a partial batch in the file that a later
+// successful flush re-appends in full — recovery's resync scan plus LSN
+// dedup reconcile the duplicates.
 func (m *Manager) flushLocked(c *vclock.Clock) error {
 	n := m.bufOff - bufHeaderSize
 	if n <= 0 {
 		return nil
 	}
 	data := make([]byte, n)
-	m.pm.Read(c, bufHeaderSize, data)
-	if err := m.store.Append(c, data); err != nil {
-		return err
+	if err := m.retry(c, func() error { return m.pm.ReadErr(c, bufHeaderSize, data) }); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
 	}
+	if err := m.retry(c, func() error { return m.store.Append(c, data) }); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	old := m.bufOff
 	m.bufOff = bufHeaderSize
-	m.persistOffset(c)
+	if err := m.persistOffset(c); err != nil {
+		// The records are in the file AND still visible in the buffer;
+		// recovery dedups, and the next flush retries the reset.
+		m.bufOff = old
+		return fmt.Errorf("wal: flush: %w", err)
+	}
 	m.flushes.Add(1)
 	return nil
 }
@@ -293,12 +402,17 @@ func (m *Manager) flushLocked(c *vclock.Clock) error {
 func (m *Manager) Truncate(c *vclock.Clock) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := m.bufOff - bufHeaderSize
-	if n > 0 {
+	if old := m.bufOff; old > bufHeaderSize {
 		m.bufOff = bufHeaderSize
-		m.persistOffset(c)
+		if err := m.persistOffset(c); err != nil {
+			m.bufOff = old
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
 	}
-	return m.store.Truncate(c)
+	if err := m.retry(c, func() error { return m.store.Truncate(c) }); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	return nil
 }
 
 // Stats reports append/flush/commit counts.

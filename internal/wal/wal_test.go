@@ -27,9 +27,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		Before: []byte("old-bytes"), After: []byte("new-bytes!"),
 	}
 	frame := rec.encode(nil)
-	got, n, ok := decodeOne(frame)
-	if !ok || n != len(frame) {
-		t.Fatalf("decode failed: ok=%v n=%d len=%d", ok, n, len(frame))
+	got, n, status := decodeOne(frame)
+	if status != decodeOK || n != len(frame) {
+		t.Fatalf("decode failed: status=%d n=%d len=%d", status, n, len(frame))
 	}
 	if got.LSN != rec.LSN || got.TxnID != rec.TxnID || got.PrevLSN != rec.PrevLSN ||
 		got.Type != rec.Type || got.TableID != rec.TableID || got.PageID != rec.PageID ||
@@ -42,14 +42,14 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	rec := Record{LSN: 1, Type: RecCommit}
 	frame := rec.encode(nil)
 	frame[10] ^= 0xFF
-	if _, _, ok := decodeOne(frame); ok {
-		t.Fatal("corrupted frame decoded")
+	if _, _, status := decodeOne(frame); status != decodeCorrupt {
+		t.Fatalf("corrupted frame: status=%d, want decodeCorrupt", status)
 	}
-	if _, _, ok := decodeOne(frame[:4]); ok {
-		t.Fatal("short frame decoded")
+	if _, _, status := decodeOne(frame[:4]); status != decodeShort {
+		t.Fatalf("short frame: status=%d, want decodeShort", status)
 	}
-	if _, _, ok := decodeOne(make([]byte, 64)); ok {
-		t.Fatal("zero frame decoded")
+	if _, _, status := decodeOne(make([]byte, 64)); status != decodeShort {
+		t.Fatalf("zero frame: status=%d, want decodeShort", status)
 	}
 }
 
@@ -135,8 +135,8 @@ func TestConcurrentAppends(t *testing.T) {
 	seen := make(map[uint64]bool)
 	n := 0
 	for len(raw) > 0 {
-		rec, sz, ok := decodeOne(raw)
-		if !ok {
+		rec, sz, status := decodeOne(raw)
+		if status != decodeOK {
 			t.Fatal("log contains a torn record")
 		}
 		if seen[rec.LSN] {

@@ -166,6 +166,48 @@ func NewFileSSD(path string, dev *Device) (*ssd.FileStore, error) {
 	return ssd.NewFile(path, dev)
 }
 
+// Fault injection and robustness (DESIGN.md §5-ter).
+type (
+	// FaultConfig is the fault mix a device injector draws from: transient
+	// read/write errors, torn writes, latency stalls, and fail-after budgets.
+	FaultConfig = device.FaultConfig
+	// Injector is a seeded-deterministic per-device fault source; attach it
+	// with Device.SetFaults.
+	Injector = device.Injector
+	// FaultStats counts what an injector actually did.
+	FaultStats = device.FaultStats
+	// CrashSwitch is a machine-wide crash point shared by several injectors:
+	// the Nth checked write tears and everything after it fails with
+	// ErrCrashed until the harness reboots it.
+	CrashSwitch = device.CrashSwitch
+	// RetryConfig bounds the buffer manager's retry/backoff loop around
+	// fallible NVM and SSD operations.
+	RetryConfig = core.RetryConfig
+	// RecoveryStats counts the damage WAL recovery tolerated (torn tails,
+	// checksum mismatches, resync skips, duplicate LSNs).
+	RecoveryStats = wal.RecoveryStats
+	// RecoveredLog is the completed, parsed log plus the analysis outcome.
+	RecoveredLog = wal.RecoveredLog
+)
+
+// Typed fault classes. Every injected error wraps exactly one of these;
+// classify with errors.Is.
+var (
+	ErrTransient = device.ErrTransient
+	ErrPermanent = device.ErrPermanent
+	ErrCrashed   = device.ErrCrashed
+	ErrTorn      = device.ErrTorn
+)
+
+// NewInjector creates a fault injector with the given mix.
+func NewInjector(cfg FaultConfig) *Injector { return device.NewInjector(cfg) }
+
+// NewCrashSwitch creates a disarmed, untripped crash switch.
+func NewCrashSwitch() *CrashSwitch { return device.NewCrashSwitch() }
+
+// IsTorn extracts the torn fraction from an error chain.
+func IsTorn(err error) (frac float64, ok bool) { return device.IsTorn(err) }
+
 // Adaptive tuning (§4).
 type (
 	// Tuner runs the simulated-annealing policy search.
