@@ -1,0 +1,43 @@
+// Command promlint validates Prometheus text-exposition payloads with the
+// same linter the obs tests use (obs.ValidatePrometheus). CI points it at a
+// scrape of a live spitfire-bench -obs endpoint; it exits non-zero with the
+// offending line on any format error.
+//
+// usage: promlint FILE...   (or pipe a payload on stdin with no arguments)
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/spitfire-db/spitfire/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		payload, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(1)
+		}
+		lint("<stdin>", string(payload))
+		return
+	}
+	for _, path := range os.Args[1:] {
+		payload, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(1)
+		}
+		lint(path, string(payload))
+	}
+}
+
+func lint(name, payload string) {
+	if err := obs.ValidatePrometheus(payload); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s ok\n", name)
+}

@@ -26,12 +26,16 @@ import (
 	"time"
 
 	"github.com/spitfire-db/spitfire/internal/harness"
+	"github.com/spitfire-db/spitfire/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink sizes and op counts for a fast run")
 	seed := flag.Uint64("seed", 1, "workload random seed")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	obsAddr := flag.String("obs", "", "serve live metrics on this address (e.g. :8080): /metrics, /snapshot.json, /trace.json, /events.jsonl, /debug/pprof/")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file (Perfetto-loadable) here on exit")
+	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (default 2s with -obs, off otherwise)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -39,6 +43,11 @@ func main() {
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	if *obsAddr != "" || *traceFile != "" || *progress > 0 {
+		cleanup := setupObs(*obsAddr, *traceFile, *progress)
+		defer cleanup()
 	}
 
 	opts := harness.Opts{Quick: *quick, Seed: *seed}
@@ -85,6 +94,54 @@ func main() {
 			os.Exit(2)
 		}
 		runOne(e, opts, *csvDir)
+	}
+}
+
+// setupObs builds the process-wide observability instance, installs it as
+// the harness default (every Env the experiments build attaches to it),
+// optionally serves the live endpoints and a periodic stderr progress line,
+// and returns a cleanup that writes the trace file and shuts everything
+// down. Error paths that os.Exit lose the trace file; that is acceptable.
+func setupObs(addr, traceFile string, progress time.Duration) (cleanup func()) {
+	o := obs.New(obs.Config{})
+	harness.SetDefaultObs(o)
+
+	var srv *obs.Server
+	if addr != "" {
+		var err error
+		srv, err = o.Serve(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spitfire-bench: -obs %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "spitfire-bench: live metrics on http://%s/ (/metrics, /snapshot.json, /trace.json, /debug/pprof/)\n", srv.Addr())
+		if progress == 0 {
+			progress = 2 * time.Second
+		}
+	}
+	var stopProgress func()
+	if progress > 0 {
+		stopProgress = o.StartProgress(os.Stderr, progress)
+	}
+	return func() {
+		if stopProgress != nil {
+			stopProgress()
+		}
+		if traceFile != "" {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spitfire-bench: -trace: %v\n", err)
+			} else {
+				if err := o.WriteChromeTrace(f); err != nil {
+					fmt.Fprintf(os.Stderr, "spitfire-bench: -trace: %v\n", err)
+				}
+				f.Close()
+				fmt.Fprintf(os.Stderr, "spitfire-bench: wrote Chrome trace to %s (open in Perfetto / chrome://tracing)\n", traceFile)
+			}
+		}
+		if srv != nil {
+			srv.Close()
+		}
 	}
 }
 
@@ -170,7 +227,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `spitfire-bench regenerates the paper's tables and figures.
 
 usage:
-  spitfire-bench [-quick] [-seed N] [-csv DIR] list | all | verify | torture | <experiment>...
+  spitfire-bench [-quick] [-seed N] [-csv DIR] [-obs ADDR] [-trace FILE] list | all | verify | torture | <experiment>...
+
+-obs ADDR serves live observability over HTTP while experiments run:
+/metrics (Prometheus text), /snapshot.json (interval deltas), /trace.json
+(Chrome trace_event), /events.jsonl, and /debug/pprof/. -trace FILE writes
+the Chrome trace at exit; -progress D prints periodic stderr stats.
 
 verify runs quick-scale checks of the paper's headline qualitative claims
 and exits non-zero if any fails.

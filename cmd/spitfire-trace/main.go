@@ -20,8 +20,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/obs"
 	"github.com/spitfire-db/spitfire/internal/policy"
 	"github.com/spitfire-db/spitfire/internal/tracereplay"
 )
@@ -142,6 +144,8 @@ func replay(args []string) {
 	pol := fs.String("policy", "lazy", "lazy | eager | hymem | dr,dw,nr,nw")
 	workers := fs.Int("workers", 4, "concurrent workers")
 	tupleSize := fs.Int("tuple", 1000, "tuple payload size in bytes")
+	obsAddr := fs.String("obs", "", "serve live metrics on this address during the replay (/metrics, /snapshot.json, /debug/pprof/)")
+	traceOut := fs.String("traceout", "", "write a Chrome trace_event JSON of buffer migrations here")
 	fs.Parse(args)
 
 	in := io.Reader(os.Stdin)
@@ -164,10 +168,24 @@ func replay(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	var o *obs.Obs
+	if *obsAddr != "" || *traceOut != "" {
+		o = obs.New(obs.Config{})
+		if *obsAddr != "" {
+			srv, err := o.Serve(*obsAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "spitfire-trace: live metrics on http://%s/\n", srv.Addr())
+			defer o.StartProgress(os.Stderr, 2*time.Second)()
+		}
+	}
 	bm, err := core.New(core.Config{
 		DRAMBytes: int64(*dram * mb),
 		NVMBytes:  int64(*nvm * mb),
 		Policy:    p,
+		Obs:       o,
 	})
 	if err != nil {
 		fatal(err)
@@ -177,6 +195,17 @@ func replay(args []string) {
 	}, ops)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := o.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "spitfire-trace: wrote Chrome trace to %s\n", *traceOut)
 	}
 
 	fmt.Printf("trace:        %d ops (%d committed, %d aborted)\n", res.Ops, res.Committed, res.Aborted)
@@ -225,7 +254,7 @@ func usage() {
 
 usage:
   spitfire-trace gen     [-ops N] [-keys N] [-theta F] [-writes PCT] [-seed N]
-  spitfire-trace replay  [-dram MB] [-nvm MB] [-policy P] [-workers N] [trace-file]
+  spitfire-trace replay  [-dram MB] [-nvm MB] [-policy P] [-workers N] [-obs ADDR] [-traceout FILE] [trace-file]
   spitfire-trace compare [-budget MB] [-workers N] [trace-file]
 `)
 }

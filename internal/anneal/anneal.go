@@ -33,6 +33,25 @@ type Options struct {
 	LockstepD bool
 	LockstepN bool
 	Seed      uint64
+
+	// OnEpoch, when non-nil, is invoked once per Observe call with the
+	// outcome of that annealing step. The observability layer uses it to
+	// trace the policy search (EvPolicyStep events) without coupling this
+	// package to the tracer.
+	OnEpoch func(EpochStep)
+}
+
+// EpochStep describes one completed annealing epoch for observers.
+type EpochStep struct {
+	Epoch       int           // 1-based epoch count
+	Proposed    policy.Policy // policy whose throughput was measured
+	Throughput  float64       // measured target metric
+	Cost        float64       // γ/throughput
+	Accepted    bool          // whether Proposed became the incumbent
+	Current     policy.Policy // incumbent after the acceptance decision
+	Best        policy.Policy // lowest-cost policy so far
+	Temperature float64       // temperature after cooling
+	Next        policy.Policy // candidate proposed for the next epoch
 }
 
 // Tuner drives one simulated-annealing search. It is not safe for
@@ -102,12 +121,16 @@ func (t *Tuner) Observe(throughput float64) policy.Policy {
 		cost = t.opt.Gamma / throughput
 	}
 
+	measured := t.candidate
+	accepted := false
 	if !t.haveCost {
 		// First measurement: the initial policy becomes the incumbent.
 		t.haveCost = true
 		t.current, t.currentCost = t.candidate, cost
+		accepted = true
 	} else if t.accept(cost) {
 		t.current, t.currentCost = t.candidate, cost
+		accepted = true
 	}
 	if cost < t.bestCost {
 		t.best, t.bestCost = t.candidate, cost
@@ -121,6 +144,14 @@ func (t *Tuner) Observe(throughput float64) policy.Policy {
 	}
 
 	t.candidate = t.neighbor(t.current)
+	if t.opt.OnEpoch != nil {
+		t.opt.OnEpoch(EpochStep{
+			Epoch: t.epochs, Proposed: measured,
+			Throughput: throughput, Cost: cost, Accepted: accepted,
+			Current: t.current, Best: t.best,
+			Temperature: t.temp, Next: t.candidate,
+		})
+	}
 	return t.candidate
 }
 

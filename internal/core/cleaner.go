@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/spitfire-db/spitfire/internal/obs"
 )
 
 // CleanerConfig configures the background page-cleaning / free-list
@@ -150,6 +152,14 @@ func newCleaner(bm *BufferManager, tier cleanerTier, pool *basePool, cc CleanerC
 	// Mark the context so write-back admission can apply the cleaner bias
 	// (always admit dirty DRAM pages to NVM, skipping the Nw coin).
 	c.ctx.cleaner = true
+	if bm.obs != nil {
+		label := "cleaner-dram"
+		if tier == cleanNVM {
+			label = "cleaner-nvm"
+		}
+		c.ctx.ring = bm.obs.NewRing(label)
+		c.ctx.ringInit = true
+	}
 	go c.run()
 	return c
 }
@@ -208,6 +218,10 @@ func (c *cleaner) replenish() {
 			return
 		default:
 		}
+		var bStart int64
+		if c.bm.obs != nil {
+			bStart = c.ctx.Clock.Now()
+		}
 		produced := 0
 		attempts := c.batch*2 + c.pool.nFrames
 		for produced < c.batch && attempts > 0 && c.freeCount() < c.high {
@@ -221,6 +235,19 @@ func (c *cleaner) replenish() {
 			return
 		}
 		st.cleanerBatches.Inc()
+		if c.bm.obs != nil {
+			now := c.ctx.Clock.Now()
+			c.bm.hCleanerBatch.Observe(now - bStart)
+			tier := obs.TierDRAM
+			if c.tier == cleanNVM {
+				tier = obs.TierNVM
+			}
+			c.ctx.ring.Emit(obs.Event{
+				TS: now, Dur: now - bStart,
+				Type: obs.EvCleanerBatch, From: tier,
+				Page: obs.NoPage, Arg: int64(produced),
+			})
+		}
 	}
 }
 

@@ -27,6 +27,8 @@ import (
 	"github.com/spitfire-db/spitfire/internal/admission"
 	"github.com/spitfire-db/spitfire/internal/cht"
 	"github.com/spitfire-db/spitfire/internal/device"
+	"github.com/spitfire-db/spitfire/internal/metrics"
+	"github.com/spitfire-db/spitfire/internal/obs"
 	"github.com/spitfire-db/spitfire/internal/pmem"
 	"github.com/spitfire-db/spitfire/internal/policy"
 	"github.com/spitfire-db/spitfire/internal/ssd"
@@ -80,6 +82,13 @@ type Ctx struct {
 	RNG   *zipf.Rand
 
 	scratch []byte // lazily allocated page-size staging buffer
+
+	// ring is the worker's migration-tracer ring, lazily attached on first
+	// instrumented operation against a manager with observability enabled.
+	// ringInit distinguishes "not asked yet" from "asked and refused" so a
+	// MaxRings-capped worker doesn't hit the registry on every fetch.
+	ring     *obs.Ring
+	ringInit bool
 
 	// cleaner marks the context as belonging to a background cleaner
 	// goroutine. Write-back admission treats cleaner evictions specially:
@@ -178,6 +187,12 @@ type Config struct {
 	// the underlying devices; see device.Injector). Zero values take the
 	// defaults documented on RetryConfig.
 	Retry RetryConfig
+
+	// Obs attaches the observability layer: per-worker migration tracing
+	// and hot-path latency histograms. Nil (the default) disables both; the
+	// only residual cost is one pointer nil-check per instrumented
+	// operation (see BenchmarkFetchTraced).
+	Obs *obs.Obs
 }
 
 // MemCharger prices accesses to the DRAM buffer. Offsets are relative to
@@ -223,6 +238,17 @@ type BufferManager struct {
 	nextPID atomic.Uint64
 
 	stats bmStats
+
+	// obs and the cached histogram pointers below are nil when observability
+	// is disabled; every instrumented path nil-checks bm.obs first.
+	obs           *obs.Obs
+	hFetchDRAM    *metrics.Histogram
+	hFetchMini    *metrics.Histogram
+	hFetchNVM     *metrics.Histogram
+	hFetchMiss    *metrics.Histogram
+	hEvictDRAM    *metrics.Histogram
+	hEvictNVM     *metrics.Histogram
+	hCleanerBatch *metrics.Histogram
 }
 
 // New creates a buffer manager. See Config for the knobs.
@@ -254,6 +280,16 @@ func New(cfg Config) (*BufferManager, error) {
 
 	bm := &BufferManager{cfg: cfg, disk: cfg.SSD, retry: cfg.Retry.withDefaults()}
 	bm.table = cht.New[PageID, *descriptor](cht.Uint64Hash)
+	if cfg.Obs != nil {
+		bm.obs = cfg.Obs
+		bm.hFetchDRAM = cfg.Obs.Hist(obs.HFetchDRAM)
+		bm.hFetchMini = cfg.Obs.Hist(obs.HFetchMini)
+		bm.hFetchNVM = cfg.Obs.Hist(obs.HFetchNVM)
+		bm.hFetchMiss = cfg.Obs.Hist(obs.HFetchMiss)
+		bm.hEvictDRAM = cfg.Obs.Hist(obs.HEvictDRAM)
+		bm.hEvictNVM = cfg.Obs.Hist(obs.HEvictNVM)
+		bm.hCleanerBatch = cfg.Obs.Hist(obs.HCleanerBatch)
+	}
 	p := cfg.Policy
 	bm.pol.Store(&p)
 

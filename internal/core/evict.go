@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/spitfire-db/spitfire/internal/device"
+	"github.com/spitfire-db/spitfire/internal/obs"
 	"github.com/spitfire-db/spitfire/internal/policy"
 )
 
@@ -88,6 +89,10 @@ func (bm *BufferManager) evictDRAMFrame(ctx *Ctx, v int32) (bool, error) {
 	p := bm.dram
 	m := &p.meta[v]
 	pid := m.pid.Load()
+	var evStart int64
+	if bm.obs != nil {
+		evStart = ctx.Clock.Now()
+	}
 	d, ok := bm.table.Get(pid)
 	if !ok {
 		m.thaw()
@@ -119,6 +124,14 @@ func (bm *BufferManager) evictDRAMFrame(ctx *Ctx, v int32) (bool, error) {
 	m.fg.Store(nil)
 	p.clock.Unref(int(v))
 	bm.stats.evictDRAM.Inc()
+	if bm.obs != nil {
+		now := ctx.Clock.Now()
+		bm.hEvictDRAM.Observe(now - evStart)
+		bm.obsRing(ctx).Emit(obs.Event{
+			TS: now, Dur: now - evStart,
+			Type: obs.EvEvict, From: obs.TierDRAM, Page: pid,
+		})
+	}
 	return true, nil
 }
 
@@ -177,6 +190,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 		}
 		nm.dirty.Store(true)
 		bm.stats.dramToNVM.Inc()
+		bm.emit(ctx, obs.Event{Type: obs.EvWriteBack, From: obs.TierDRAM, To: obs.TierNVM, Page: d.pid})
 		return true, nil
 	}
 	// A fine-grained page without an NVM copy is fully resident by
@@ -216,6 +230,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 				bm.nvm.meta[nf].thaw()
 				bm.nvm.clock.Ref(int(nf))
 				bm.stats.dramToNVM.Inc()
+				bm.emit(ctx, obs.Event{Type: obs.EvAdmit, From: obs.TierDRAM, To: obs.TierNVM, Page: d.pid})
 			}
 		}
 		d.latchN.Unlock()
@@ -241,6 +256,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 		}
 		nm.dirty.Store(true)
 		bm.stats.dramToNVM.Inc()
+		bm.emit(ctx, obs.Event{Type: obs.EvWriteBack, From: obs.TierDRAM, To: obs.TierNVM, Page: d.pid})
 		return true, nil
 	}
 
@@ -286,6 +302,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 				bm.nvm.clock.Ref(int(nf))
 				d.latchN.Unlock()
 				bm.stats.dramToNVM.Inc()
+				bm.emit(ctx, obs.Event{Type: obs.EvAdmit, From: obs.TierDRAM, To: obs.TierNVM, Page: d.pid})
 				return true, nil
 			}
 		} else {
@@ -309,6 +326,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 		return false, err
 	}
 	bm.stats.dramToSSD.Inc()
+	bm.emit(ctx, obs.Event{Type: obs.EvWriteBack, From: obs.TierDRAM, To: obs.TierSSD, Page: d.pid})
 	return true, nil
 }
 
@@ -483,6 +501,10 @@ func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) (bool, error) {
 	np := bm.nvm
 	m := &np.meta[v]
 	pid := m.pid.Load()
+	var evStart int64
+	if bm.obs != nil {
+		evStart = ctx.Clock.Now()
+	}
 	d, ok := bm.table.Get(pid)
 	if !ok {
 		m.thaw()
@@ -535,6 +557,7 @@ func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) (bool, error) {
 			return false, err
 		}
 		bm.stats.nvmToSSD.Inc()
+		bm.emit(ctx, obs.Event{Type: obs.EvWriteBack, From: obs.TierNVM, To: obs.TierSSD, Page: pid})
 	}
 	// Invalidate the frame's durable header so recovery cannot resurrect it.
 	// An invalidation failure keeps the frame attached (thawed, consistent):
@@ -554,5 +577,13 @@ func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) (bool, error) {
 	m.clAdmit.Store(false)
 	np.clock.Unref(int(v))
 	bm.stats.evictNVM.Inc()
+	if bm.obs != nil {
+		now := ctx.Clock.Now()
+		bm.hEvictNVM.Observe(now - evStart)
+		bm.obsRing(ctx).Emit(obs.Event{
+			TS: now, Dur: now - evStart,
+			Type: obs.EvEvict, From: obs.TierNVM, Page: pid,
+		})
+	}
 	return true, nil
 }

@@ -274,6 +274,152 @@ func TestCleanerAllFailSurfacesInForeground(t *testing.T) {
 	h.Release()
 }
 
+// fgConfig is the fine-grained-loading fault fixture: Nr = 1 sends the first
+// fetch of a page into NVM, Dr = 1 migrates the second fetch up into an
+// empty cache-line-grained DRAM frame whose units fault in on demand.
+func fgFaultConfig() Config {
+	return Config{
+		DRAMBytes:   4 * PageSize,
+		NVMBytes:    8 * nvmFrameSlot,
+		FineGrained: true,
+		LoadingUnit: 256,
+		Policy:      policy.Policy{Dr: 1, Dw: 1, Nr: 1, Nw: 1},
+	}
+}
+
+// fgDRAMHandle drives pid into a fine-grained DRAM frame backed by an NVM
+// copy and returns the pinned handle.
+func fgDRAMHandle(t *testing.T, bm *BufferManager, ctx *Ctx, pid uint64) *Handle {
+	t.Helper()
+	h, err := bm.FetchPage(ctx, pid, ReadIntent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tier() != TierNVM {
+		t.Fatalf("first fetch tier = %v, want NVM (Nr=1 miss route)", h.Tier())
+	}
+	h.Release()
+	h, err = bm.FetchPage(ctx, pid, ReadIntent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tier() != TierDRAM {
+		t.Fatalf("second fetch tier = %v, want DRAM (Dr=1 fine-grained migration)", h.Tier())
+	}
+	return h
+}
+
+// TestFineGrainedLoadSurfacesNVMReadError: an injected NVM fault during a
+// fine-grained unit fill is retried and then surfaces through Handle.ReadAt
+// as a typed error — it is not absorbed silently — and residency does NOT
+// advance, so the same read succeeds with correct data once the fault
+// clears.
+func TestFineGrainedLoadSurfacesNVMReadError(t *testing.T) {
+	bm, _, nvmInj := faultBM(t, fgFaultConfig())
+	seed(t, bm, 2)
+	ctx := NewCtx(12)
+	h := fgDRAMHandle(t, bm, ctx, 0)
+	defer h.Release()
+
+	base := bm.Stats()
+	nvmInj.Rearm(device.FaultConfig{Seed: 6, ReadErrProb: 1})
+	got := make([]byte, 512)
+	if err := h.ReadAt(ctx, 0, got); err == nil {
+		t.Fatal("fine-grained read with a failing NVM device succeeded")
+	} else if !errors.Is(err, device.ErrTransient) {
+		t.Fatalf("ReadAt error = %v, want one wrapping device.ErrTransient", err)
+	}
+	st := bm.Stats()
+	if st.IORetries == base.IORetries {
+		t.Error("failing unit fill was not retried")
+	}
+	if st.FGUnitLoads != base.FGUnitLoads {
+		t.Errorf("residency advanced on a failed fill: FGUnitLoads %d -> %d",
+			base.FGUnitLoads, st.FGUnitLoads)
+	}
+	if bm.NVMDegraded() {
+		t.Fatal("transient unit-fill faults degraded the NVM tier")
+	}
+
+	nvmInj.Rearm(device.FaultConfig{Seed: 6})
+	if err := h.ReadAt(ctx, 0, got); err != nil {
+		t.Fatalf("read after the fault cleared: %v", err)
+	}
+	want := make([]byte, PageSize)
+	marker(want, 0, 0)
+	if !bytes.Equal(got, want[:512]) {
+		t.Fatal("unit contents corrupted by the transient fault episode")
+	}
+	if loads := bm.Stats().FGUnitLoads; loads != base.FGUnitLoads+2 {
+		t.Errorf("FGUnitLoads = %d, want %d (two 256 B units)", loads, base.FGUnitLoads+2)
+	}
+}
+
+// TestFineGrainedOverwriteSkipsFaultingNVM: a write that fully covers its
+// units needs no NVM fill, so it must succeed even while every NVM read
+// fails; a partial write of a non-resident unit needs the fill and must
+// surface the fault instead. After the episode both the overwrite and the
+// preserved bytes are intact.
+func TestFineGrainedOverwriteSkipsFaultingNVM(t *testing.T) {
+	bm, _, nvmInj := faultBM(t, fgFaultConfig())
+	seed(t, bm, 2)
+	ctx := NewCtx(13)
+	h := fgDRAMHandle(t, bm, ctx, 0)
+	defer h.Release()
+
+	nvmInj.Rearm(device.FaultConfig{Seed: 7, ReadErrProb: 1})
+	fresh := make([]byte, 256)
+	for i := range fresh {
+		fresh[i] = 0xAB
+	}
+	// Unit-aligned full overwrite of unit 1: no fill, must succeed.
+	if err := h.WriteAt(ctx, 256, fresh); err != nil {
+		t.Fatalf("fully-overwriting write hit the faulting NVM device: %v", err)
+	}
+	// Partial write into non-resident unit 0: needs a fill, must fail typed.
+	if err := h.WriteAt(ctx, 10, fresh[:100]); err == nil {
+		t.Fatal("partial write with a failing NVM device succeeded")
+	} else if !errors.Is(err, device.ErrTransient) {
+		t.Fatalf("WriteAt error = %v, want one wrapping device.ErrTransient", err)
+	}
+
+	nvmInj.Rearm(device.FaultConfig{Seed: 7})
+	got := make([]byte, 512)
+	if err := h.ReadAt(ctx, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, PageSize)
+	marker(want, 0, 0)
+	if !bytes.Equal(got[:256], want[:256]) {
+		t.Fatal("unit 0 lost its seeded bytes across the fault episode")
+	}
+	if !bytes.Equal(got[256:512], fresh) {
+		t.Fatal("fully-overwritten unit lost the write that succeeded during the fault")
+	}
+}
+
+// TestFineGrainedPermanentNVMFaultDegrades: a permanent NVM fault during a
+// unit fill degrades the tier (collapse to DRAM-SSD) exactly like the
+// whole-page paths do, instead of retrying forever.
+func TestFineGrainedPermanentNVMFaultDegrades(t *testing.T) {
+	bm, _, nvmInj := faultBM(t, fgFaultConfig())
+	seed(t, bm, 2)
+	ctx := NewCtx(14)
+	h := fgDRAMHandle(t, bm, ctx, 0)
+	defer h.Release()
+
+	nvmInj.FailNow()
+	got := make([]byte, 256)
+	if err := h.ReadAt(ctx, 0, got); err == nil {
+		t.Fatal("fine-grained read on a dead NVM device succeeded")
+	} else if !errors.Is(err, device.ErrPermanent) {
+		t.Fatalf("ReadAt error = %v, want one wrapping device.ErrPermanent", err)
+	}
+	if !bm.NVMDegraded() {
+		t.Fatal("permanent unit-fill fault did not degrade the NVM tier")
+	}
+}
+
 // TestCloseConcurrentAndIdempotent: Close is safe under concurrent callers,
 // repeatable, and leaves the manager usable for inline-eviction service.
 func TestCloseConcurrentAndIdempotent(t *testing.T) {

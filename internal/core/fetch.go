@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/spitfire-db/spitfire/internal/device"
+	"github.com/spitfire-db/spitfire/internal/obs"
 	"github.com/spitfire-db/spitfire/internal/policy"
 )
 
@@ -20,7 +21,49 @@ import (
 //
 // The caller must Release the handle, and must not fetch a page while
 // already holding a pinned handle to that same page.
+//
+// With observability attached, the fetch's simulated duration is recorded in
+// the per-hit-tier latency histograms and a tracer event is emitted; with
+// bm.obs nil the only cost over the raw fetch is this one nil check.
 func (bm *BufferManager) FetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle, error) {
+	if bm.obs == nil {
+		return bm.fetchPage(ctx, pid, intent)
+	}
+	start := ctx.Clock.Now()
+	h, err := bm.fetchPage(ctx, pid, intent)
+	now := ctx.Clock.Now()
+	dur := now - start
+	ev := obs.Event{TS: now, Dur: dur, Type: obs.EvFetch, Page: pid}
+	if err != nil {
+		ev.Outcome = obs.OutError
+	} else {
+		switch h.how {
+		case howHitDRAM:
+			bm.hFetchDRAM.Observe(dur)
+			ev.From, ev.To = obs.TierDRAM, obs.TierDRAM
+		case howHitMini:
+			bm.hFetchMini.Observe(dur)
+			ev.From, ev.To = obs.TierMini, obs.TierMini
+		case howHitNVM:
+			bm.hFetchNVM.Observe(dur)
+			ev.From, ev.To = obs.TierNVM, obs.TierNVM
+		case howMigrated:
+			bm.hFetchNVM.Observe(dur)
+			ev.From, ev.To = obs.TierNVM, obsTier(h.tier)
+		case howMissDRAM:
+			bm.hFetchMiss.Observe(dur)
+			ev.From, ev.To, ev.Outcome = obs.TierSSD, obs.TierDRAM, obs.OutMiss
+		case howMissNVM:
+			bm.hFetchMiss.Observe(dur)
+			ev.From, ev.To, ev.Outcome = obs.TierSSD, obs.TierNVM, obs.OutMiss
+		}
+	}
+	bm.obsRing(ctx).Emit(ev)
+	return h, err
+}
+
+// fetchPage is the uninstrumented fetch; see FetchPage for the contract.
+func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle, error) {
 	d := bm.descriptorFor(pid)
 	pol := bm.pol.Load()
 
@@ -32,7 +75,7 @@ func (bm *BufferManager) FetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 				d.mu.Unlock()
 				bm.dram.clock.Ref(int(f))
 				bm.stats.hitDRAM.Inc()
-				return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+				return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howHitDRAM}, nil
 			}
 			d.mu.Unlock() // frozen mid-eviction; wait it out
 			backoff(attempt)
@@ -45,7 +88,7 @@ func (bm *BufferManager) FetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 				d.mu.Unlock()
 				mp.clock.Ref(int(f))
 				bm.stats.hitMini.Inc()
-				return &Handle{bm: bm, d: d, tier: TierMini, frame: f}, nil
+				return &Handle{bm: bm, d: d, tier: TierMini, frame: f, how: howHitMini}, nil
 			}
 			d.mu.Unlock()
 			backoff(attempt)
@@ -76,7 +119,7 @@ func (bm *BufferManager) FetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 					if bm.nvm.meta[f].clAdmit.Load() {
 						bm.stats.hitNVMCleanerAdmitted.Inc()
 					}
-					return &Handle{bm: bm, d: d, tier: TierNVM, frame: f}, nil
+					return &Handle{bm: bm, d: d, tier: TierNVM, frame: f, how: howHitNVM}, nil
 				}
 				d.mu.Unlock()
 				backoff(attempt)
@@ -151,7 +194,7 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 			mp.meta[mf].pins.Store(1)
 			mp.clock.Ref(int(mf))
 			bm.stats.migNVMToDRAM.Inc()
-			return &Handle{bm: bm, d: d, tier: TierMini, frame: mf}, nil
+			return &Handle{bm: bm, d: d, tier: TierMini, frame: mf, how: howMigrated}, nil
 		}
 		f, err := bm.dram.alloc(bm, ctx)
 		if err != nil {
@@ -169,7 +212,7 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 		bm.dram.meta[f].pins.Store(1)
 		bm.dram.clock.Ref(int(f))
 		bm.stats.migNVMToDRAM.Inc()
-		return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+		return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howMigrated}, nil
 	}
 
 	// Whole-page migration.
@@ -199,7 +242,7 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 	bm.dram.meta[f].pins.Store(1)
 	bm.dram.clock.Ref(int(f))
 	bm.stats.migNVMToDRAM.Inc()
-	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howMigrated}, nil
 }
 
 // fetchMiss brings page d in from SSD. With probability Nr it installs the
@@ -250,7 +293,7 @@ func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) 
 	bm.dram.meta[f].pins.Store(1)
 	bm.dram.clock.Ref(int(f))
 	bm.stats.ssdToDRAM.Inc()
-	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
+	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howMissDRAM}, nil
 }
 
 // fetchMissNVM is fetchMiss's SSD→NVM route (path ❼). It returns (nil, nil)
@@ -288,7 +331,7 @@ func (bm *BufferManager) fetchMissNVM(ctx *Ctx, d *descriptor) (*Handle, error) 
 	bm.nvm.meta[nf].pins.Store(1)
 	bm.nvm.clock.Ref(int(nf))
 	bm.stats.ssdToNVM.Inc()
-	return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf}, nil
+	return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf, how: howMissNVM}, nil
 }
 
 // NewPage allocates a fresh, zeroed page and returns it pinned. Placement

@@ -130,6 +130,49 @@ func (bm *BufferManager) ResetStats() {
 	}
 }
 
+// PoolGauges is a point-in-time occupancy snapshot of the buffer pools,
+// exposed to the observability layer as gauges: per-tier capacity, free-list
+// depth, occupied frames, and dirty frames.
+type PoolGauges struct {
+	DRAMFrames, DRAMFree, DRAMUsed, DRAMDirty int
+	MiniFrames, MiniFree, MiniUsed, MiniDirty int
+	NVMFrames, NVMFree, NVMUsed, NVMDirty     int
+}
+
+// poolGauges scans a pool's frame metadata. The scan is racy by design —
+// gauges are monitoring data, not invariants — but every load is atomic.
+func poolGauges(p *basePool) (free, used, dirty int) {
+	free = len(p.free)
+	for i := range p.meta {
+		if p.meta[i].pid.Load() == InvalidPageID {
+			continue
+		}
+		used++
+		if p.meta[i].dirty.Load() {
+			dirty++
+		}
+	}
+	return free, used, dirty
+}
+
+// PoolGauges snapshots buffer-pool occupancy for live exposition.
+func (bm *BufferManager) PoolGauges() PoolGauges {
+	var g PoolGauges
+	if bm.dram != nil {
+		g.DRAMFrames = bm.dram.nFrames
+		g.DRAMFree, g.DRAMUsed, g.DRAMDirty = poolGauges(&bm.dram.basePool)
+		if bm.dram.mini != nil {
+			g.MiniFrames = bm.dram.mini.nFrames
+			g.MiniFree, g.MiniUsed, g.MiniDirty = poolGauges(&bm.dram.mini.basePool)
+		}
+	}
+	if bm.nvm != nil {
+		g.NVMFrames = bm.nvm.nFrames
+		g.NVMFree, g.NVMUsed, g.NVMDirty = poolGauges(&bm.nvm.basePool)
+	}
+	return g
+}
+
 // Inclusivity computes the paper's inclusivity ratio (§3.3):
 //
 //	#pages in both DRAM and NVM buffers / #pages in either buffer

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/spitfire-db/spitfire/internal/metrics"
 	"github.com/spitfire-db/spitfire/internal/vclock"
 )
 
@@ -95,6 +96,12 @@ type Device struct {
 	bytesWritten atomic.Int64 // media-granularity bytes
 
 	faults atomic.Pointer[Injector]
+
+	// Optional per-operation latency histograms (observed in simulated
+	// nanoseconds, including queueing behind the bandwidth horizon). Nil
+	// unless an observability layer attached them.
+	hRead  atomic.Pointer[metrics.Histogram]
+	hWrite atomic.Pointer[metrics.Histogram]
 }
 
 // New creates a device with the given parameters.
@@ -137,10 +144,14 @@ func (d *Device) occupy(now, busy int64) int64 {
 func (d *Device) Read(c *vclock.Clock, n int) int64 {
 	media := d.roundUp(n)
 	busy := int64(float64(media) / d.p.ReadBandwidth)
-	end := d.occupy(c.Now(), busy)
+	start := c.Now()
+	end := d.occupy(start, busy)
 	c.AdvanceTo(end + d.p.ReadLatency)
 	d.readOps.Add(1)
 	d.bytesRead.Add(media)
+	if h := d.hRead.Load(); h != nil {
+		h.Observe(c.Now() - start)
+	}
 	return media
 }
 
@@ -149,11 +160,24 @@ func (d *Device) Read(c *vclock.Clock, n int) int64 {
 func (d *Device) Write(c *vclock.Clock, n int) int64 {
 	media := d.roundUp(n)
 	busy := int64(float64(media) / d.p.WriteBandwidth)
-	end := d.occupy(c.Now(), busy)
+	start := c.Now()
+	end := d.occupy(start, busy)
 	c.AdvanceTo(end + d.p.WriteLatency)
 	d.writeOps.Add(1)
 	d.bytesWritten.Add(media)
+	if h := d.hWrite.Load(); h != nil {
+		h.Observe(c.Now() - start)
+	}
 	return media
+}
+
+// SetLatencyHistograms attaches (or with nils detaches) per-operation
+// latency histograms. Every Read/Write — including each attempt of a
+// retried checked operation — observes its simulated duration: queueing
+// behind the shared bandwidth horizon plus the device latency.
+func (d *Device) SetLatencyHistograms(read, write *metrics.Histogram) {
+	d.hRead.Store(read)
+	d.hWrite.Store(write)
 }
 
 // SetFaults attaches (or, with nil, detaches) a fault injector. Only the

@@ -16,6 +16,7 @@ import (
 	"github.com/spitfire-db/spitfire/internal/engine"
 	"github.com/spitfire-db/spitfire/internal/memmode"
 	"github.com/spitfire-db/spitfire/internal/metrics"
+	"github.com/spitfire-db/spitfire/internal/obs"
 	"github.com/spitfire-db/spitfire/internal/pmem"
 	"github.com/spitfire-db/spitfire/internal/policy"
 	"github.com/spitfire-db/spitfire/internal/ssd"
@@ -100,6 +101,14 @@ type EnvConfig struct {
 	// experiments leave it zero (disabled) so simulated-time results stay
 	// deterministic; the extra-cleaner sweep turns it on explicitly.
 	Cleaner core.CleanerConfig
+
+	// Obs attaches the observability layer to every subsystem the Env
+	// assembles (buffer manager, devices, WAL) and installs the Env as the
+	// live counter/gauge source. Nil falls back to the package default set
+	// with SetDefaultObs (used by the cmd binaries so experiment code needs
+	// no plumbing); when both are nil, observability is off and the hot
+	// paths take their nil-check fast path.
+	Obs *obs.Obs
 }
 
 // Env is a loaded experimental environment.
@@ -143,6 +152,9 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 20000
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = DefaultObs()
+	}
 
 	e := &Env{cfg: cfg}
 	e.ssdDev = device.New(device.SSDParams)
@@ -169,6 +181,13 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		e.mem = memmode.New(memmode.Options{DRAMBytes: cfg.MemoryModeDRAM})
 		bmCfg.DRAMCharger = memChargerAdapter{e.mem}
 	}
+	if o := cfg.Obs; o != nil {
+		bmCfg.Obs = o
+		e.ssdDev.SetLatencyHistograms(o.Hist(obs.HDevSSDRead), o.Hist(obs.HDevSSDWrite))
+		if e.nvmDev != nil {
+			e.nvmDev.SetLatencyHistograms(o.Hist(obs.HDevNVMRead), o.Hist(obs.HDevNVMWrite))
+		}
+	}
 	bm, err := core.New(bmCfg)
 	if err != nil {
 		return nil, err
@@ -177,7 +196,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 
 	var w *wal.Manager
 	if !cfg.DisableWAL {
-		walOpts := wal.Options{Store: wal.NewMemLog(e.ssdDev)}
+		walOpts := wal.Options{Store: wal.NewMemLog(e.ssdDev), Obs: cfg.Obs}
 		if cfg.NVMBytes > 0 {
 			// NVM-equipped hierarchies keep the log buffer on NVM: a
 			// persisted append *is* the commit (§5.2).
@@ -214,6 +233,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		return nil, err
 	}
 	e.nextCkpt.Store(cfg.CheckpointEvery)
+	cfg.Obs.SetSource(e) // nil-safe
 	return e, nil
 }
 

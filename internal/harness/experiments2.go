@@ -53,6 +53,7 @@ func Fig10(o Opts) (*Table, error) {
 			LockstepD: true,
 			LockstepN: true,
 			Seed:      o.seed(),
+			OnEpoch:   e.PolicyStepHook(),
 		})
 		cand := tn.Propose()
 		for ep := 0; ep < epochs; ep++ {
@@ -403,6 +404,7 @@ func Experiments() []Experiment {
 		{"fig15", "Database-size sweep over five configurations (§6.7)", single(Fig15)},
 		{"extra-wear", "Wear-aware adaptive tuning, λ sweep (extension beyond the paper)", single(ExtraWear)},
 		{"extra-cleaner", "Background cleaner watermark/batch sweep (extension beyond the paper)", single(ExtraCleaner)},
+		{"extra-admit", "NVM admission: HyMem queue vs cleaner always-admit bias (extension beyond the paper)", single(ExtraAdmit)},
 	}
 }
 

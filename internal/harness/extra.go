@@ -47,6 +47,7 @@ func ExtraWear(o Opts) (*Table, error) {
 			LockstepD: true,
 			LockstepN: true,
 			Seed:      o.seed(),
+			OnEpoch:   e.PolicyStepHook(),
 		})
 		cost := anneal.WearAwareCost{Lambda: lambda}
 		cand := tn.Propose()

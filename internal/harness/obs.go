@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"github.com/spitfire-db/spitfire/internal/anneal"
+	"github.com/spitfire-db/spitfire/internal/obs"
+)
+
+// defaultObs is the process-wide fallback observability instance consulted
+// by NewEnv when EnvConfig.Obs is nil. The cmd binaries install it once at
+// startup (-obs / -trace flags) so every experiment the registry runs is
+// observed without threading a pointer through each experiment function.
+var defaultObs atomic.Pointer[obs.Obs]
+
+// SetDefaultObs installs (or, with nil, clears) the process-wide default
+// observability instance used by NewEnv when EnvConfig.Obs is unset.
+func SetDefaultObs(o *obs.Obs) {
+	if o == nil {
+		defaultObs.Store(nil)
+		return
+	}
+	defaultObs.Store(o)
+}
+
+// DefaultObs returns the instance installed with SetDefaultObs, or nil.
+func DefaultObs() *obs.Obs { return defaultObs.Load() }
+
+// PolicyStepHook returns an anneal.Options.OnEpoch callback that traces
+// every annealing step as an EvPolicyStep event on a dedicated "tuner"
+// ring (single-producer: the tuner runs on the coordinator goroutine
+// between epochs). Returns nil — a valid no-op for anneal — when the Env
+// has no observability attached.
+func (e *Env) PolicyStepHook() func(anneal.EpochStep) {
+	o := e.cfg.Obs
+	if o == nil {
+		return nil
+	}
+	ring := o.NewRing("tuner")
+	return func(st anneal.EpochStep) {
+		out := obs.OutSkipped
+		if st.Accepted {
+			out = obs.OutOK
+		}
+		ring.Emit(obs.Event{
+			TS:      e.vbase.Load(),
+			Type:    obs.EvPolicyStep,
+			Outcome: out,
+			Page:    obs.NoPage,
+			Arg:     int64(st.Throughput),
+		})
+	}
+}
+
+// ObsCounters implements obs.Source: monotonic totals for the live
+// exposition endpoints. The hit_* / miss_ssd names are load-bearing — the
+// snapshot endpoint derives hit rates from them.
+func (e *Env) ObsCounters() []obs.Sample {
+	s := e.BM.Stats()
+	out := []obs.Sample{
+		{Name: "hit_dram", Value: s.HitDRAM},
+		{Name: "hit_mini", Value: s.HitMini},
+		{Name: "hit_nvm", Value: s.HitNVM},
+		{Name: "miss_ssd", Value: s.MissSSD},
+		{Name: "mig_nvm_to_dram", Value: s.NVMToDRAM},
+		{Name: "mig_ssd_to_dram", Value: s.SSDToDRAM},
+		{Name: "mig_ssd_to_nvm", Value: s.SSDToNVM},
+		{Name: "mig_dram_to_nvm", Value: s.DRAMToNVM},
+		{Name: "mig_dram_to_ssd", Value: s.DRAMToSSD},
+		{Name: "mig_nvm_to_ssd", Value: s.NVMToSSD},
+		{Name: "evict_dram", Value: s.EvictDRAM},
+		{Name: "evict_mini", Value: s.EvictMini},
+		{Name: "evict_nvm", Value: s.EvictNVM},
+		{Name: "fg_unit_loads", Value: s.FGUnitLoads},
+		{Name: "mini_promotions", Value: s.MiniPromotions},
+		{Name: "cleaner_batches", Value: s.CleanerBatches},
+		{Name: "cleaner_cleaned_dram", Value: s.CleanerCleanedDRAM},
+		{Name: "cleaner_cleaned_nvm", Value: s.CleanerCleanedNVM},
+		{Name: "cleaner_stalls", Value: s.CleanerStalls},
+		{Name: "foreground_evicts", Value: s.ForegroundEvicts},
+		{Name: "io_retries", Value: s.IORetries},
+		{Name: "io_give_ups", Value: s.IOGiveUps},
+		{Name: "commits", Value: e.commits.Load()},
+	}
+	if e.nvmDev != nil {
+		st := e.nvmDev.Stats()
+		out = append(out,
+			obs.Sample{Name: "nvm_bytes_read", Value: st.BytesRead},
+			obs.Sample{Name: "nvm_bytes_written", Value: st.BytesWritten},
+		)
+	}
+	if e.ssdDev != nil {
+		st := e.ssdDev.Stats()
+		out = append(out,
+			obs.Sample{Name: "ssd_bytes_read", Value: st.BytesRead},
+			obs.Sample{Name: "ssd_bytes_written", Value: st.BytesWritten},
+		)
+	}
+	if w := e.DB.WAL(); w != nil {
+		appends, flushes, commits := w.Stats()
+		out = append(out,
+			obs.Sample{Name: "wal_appends", Value: appends},
+			obs.Sample{Name: "wal_flushes", Value: flushes},
+			obs.Sample{Name: "wal_commits", Value: commits},
+		)
+	}
+	return out
+}
+
+// ObsGauges implements obs.Source: instantaneous buffer-pool occupancy and
+// the simulated-time frontier.
+func (e *Env) ObsGauges() []obs.Sample {
+	g := e.BM.PoolGauges()
+	out := []obs.Sample{
+		{Name: "dram_frames", Value: int64(g.DRAMFrames)},
+		{Name: "dram_free_frames", Value: int64(g.DRAMFree)},
+		{Name: "dram_used_frames", Value: int64(g.DRAMUsed)},
+		{Name: "dram_dirty_frames", Value: int64(g.DRAMDirty)},
+		{Name: "nvm_frames", Value: int64(g.NVMFrames)},
+		{Name: "nvm_free_frames", Value: int64(g.NVMFree)},
+		{Name: "nvm_used_frames", Value: int64(g.NVMUsed)},
+		{Name: "nvm_dirty_frames", Value: int64(g.NVMDirty)},
+		{Name: "virtual_time_ns", Value: e.vbase.Load()},
+		{Name: "nvm_degraded", Value: e.BM.Stats().NVMDegraded},
+	}
+	if g.MiniFrames > 0 {
+		out = append(out,
+			obs.Sample{Name: "mini_frames", Value: int64(g.MiniFrames)},
+			obs.Sample{Name: "mini_free_frames", Value: int64(g.MiniFree)},
+			obs.Sample{Name: "mini_used_frames", Value: int64(g.MiniUsed)},
+			obs.Sample{Name: "mini_dirty_frames", Value: int64(g.MiniDirty)},
+		)
+	}
+	return out
+}

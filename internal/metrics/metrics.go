@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -49,7 +50,8 @@ func (s *Set) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns a copy of all counter values.
+// Snapshot returns a copy of all counter values. Map iteration order is
+// unspecified; renderers that need stable output use Names, Each or Format.
 func (s *Set) Snapshot() map[string]int64 {
 	s.mu.Lock()
 	out := make(map[string]int64, len(s.counters))
@@ -58,6 +60,39 @@ func (s *Set) Snapshot() map[string]int64 {
 	}
 	s.mu.Unlock()
 	return out
+}
+
+// Names returns every counter name in sorted order.
+func (s *Set) Names() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Each calls fn once per counter in sorted name order. The values are read
+// after the name list is built, so a counter created concurrently may be
+// missed but an included value is never stale beyond its own load.
+func (s *Set) Each(fn func(name string, value int64)) {
+	for _, n := range s.Names() {
+		fn(n, s.Counter(n).Load())
+	}
+}
+
+// Format writes one "name value" line per counter in sorted name order —
+// deterministic output for reports and golden tests.
+func (s *Set) Format(w io.Writer) error {
+	var err error
+	s.Each(func(name string, value int64) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, "%s %d\n", name, value)
+		}
+	})
+	return err
 }
 
 // Reset zeroes every counter.
@@ -71,18 +106,12 @@ func (s *Set) Reset() {
 
 // String renders the set sorted by name.
 func (s *Set) String() string {
-	snap := s.Snapshot()
-	names := make([]string, 0, len(snap))
-	for n := range snap {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	var b strings.Builder
-	for i, n := range names {
-		if i > 0 {
+	s.Each(func(name string, value int64) {
+		if b.Len() > 0 {
 			b.WriteString(" ")
 		}
-		fmt.Fprintf(&b, "%s=%d", n, snap[n])
-	}
+		fmt.Fprintf(&b, "%s=%d", name, value)
+	})
 	return b.String()
 }

@@ -1,0 +1,405 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingEmitSnapshot(t *testing.T) {
+	o := New(Config{RingSize: 8})
+	r := o.NewRing("w0")
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{TS: int64(i), Type: EvFetch, From: TierSSD, To: TierDRAM, Page: uint64(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.TS != int64(i) || ev.Page != uint64(i) {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+		if ev.Type != EvFetch || ev.From != TierSSD || ev.To != TierDRAM {
+			t.Fatalf("event %d fields mangled: %+v", i, ev)
+		}
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	o := New(Config{RingSize: 8})
+	r := o.NewRing("w0")
+	for i := 0; i < 20; i++ {
+		r.Emit(Event{TS: int64(i), Type: EvEvict, Page: uint64(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("got %d events after wrap, want 8", len(evs))
+	}
+	if evs[0].TS != 12 || evs[7].TS != 19 {
+		t.Fatalf("wrap window wrong: first=%d last=%d", evs[0].TS, evs[7].TS)
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len=%d, want 20", r.Len())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	var r *Ring
+	r.Emit(Event{Type: EvFetch}) // must not panic
+	if r.Snapshot() != nil || r.Len() != 0 {
+		t.Fatal("nil ring should be empty")
+	}
+	if o.Hist(HFetchDRAM) != nil {
+		t.Fatal("nil obs must hand out nil histograms")
+	}
+	if o.NewRing("x") != nil {
+		t.Fatal("nil obs must hand out nil rings")
+	}
+	o.SetSource(nil)
+	stop := o.StartProgress(io.Discard, time.Second)
+	stop()
+	var buf bytes.Buffer
+	if err := o.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRingsCap(t *testing.T) {
+	o := New(Config{RingSize: 8, MaxRings: 3})
+	for i := 0; i < 3; i++ {
+		if o.NewRing(fmt.Sprintf("w%d", i)) == nil {
+			t.Fatalf("ring %d refused below cap", i)
+		}
+	}
+	if o.NewRing("over") != nil {
+		t.Fatal("ring above cap should be nil")
+	}
+	alloc, capped := o.RingCount()
+	if alloc != 3 || capped != 1 {
+		t.Fatalf("RingCount = (%d, %d), want (3, 1)", alloc, capped)
+	}
+}
+
+// TestRingConcurrentSnapshot hammers one producer per ring while other
+// goroutines snapshot and export continuously; run under -race this is the
+// tracer's data-race proof.
+func TestRingConcurrentSnapshot(t *testing.T) {
+	o := New(Config{RingSize: 64})
+	const workers = 8
+	const events = 2000
+	var wg sync.WaitGroup
+	stopRead := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		r := o.NewRing(fmt.Sprintf("w%d", w))
+		wg.Add(1)
+		go func(r *Ring, w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				r.Emit(Event{
+					TS:   int64(i),
+					Dur:  3,
+					Type: EventType(1 + i%9),
+					From: TierID(i % 5),
+					To:   TierID((i + 1) % 5),
+					Page: uint64(w*events + i),
+					Arg:  int64(i),
+				})
+			}
+		}(r, w)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				o.WriteJSONL(io.Discard)
+				o.WriteChromeTrace(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopRead)
+	readers.Wait()
+	// After producers stop, snapshots must be complete and self-consistent.
+	total := uint64(0)
+	o.mu.Lock()
+	rings := append([]*Ring(nil), o.rings...)
+	o.mu.Unlock()
+	for _, r := range rings {
+		evs := r.Snapshot()
+		if len(evs) != 64 {
+			t.Fatalf("quiescent snapshot has %d events, want 64", len(evs))
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].TS != evs[i-1].TS+1 {
+				t.Fatalf("snapshot not contiguous at %d: %d -> %d", i, evs[i-1].TS, evs[i].TS)
+			}
+		}
+		total += r.Len()
+	}
+	if total != workers*events {
+		t.Fatalf("lost events: %d emitted, want %d", total, workers*events)
+	}
+}
+
+func TestChromeTraceParses(t *testing.T) {
+	o := New(Config{RingSize: 16})
+	r := o.NewRing("worker-0")
+	r.Emit(Event{TS: 1000, Dur: 700, Type: EvFetch, From: TierSSD, To: TierDRAM, Page: 7})
+	r.Emit(Event{TS: 2000, Type: EvPolicyStep, Page: NoPage, Arg: 42})
+	var buf bytes.Buffer
+	if err := o.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 1 thread_name metadata + 2 events.
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(doc.TraceEvents))
+	}
+	var sawComplete, sawInstant, sawMeta bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			sawComplete = true
+			if ev["ts"].(float64) != 0.3 { // (1000-700)/1e3 µs
+				t.Fatalf("complete event ts = %v, want 0.3", ev["ts"])
+			}
+			if ev["dur"].(float64) != 0.7 {
+				t.Fatalf("complete event dur = %v, want 0.7", ev["dur"])
+			}
+		case "i":
+			sawInstant = true
+		case "M":
+			sawMeta = true
+			args := ev["args"].(map[string]any)
+			if args["name"] != "worker-0" {
+				t.Fatalf("thread_name = %v", args["name"])
+			}
+		}
+	}
+	if !sawComplete || !sawInstant || !sawMeta {
+		t.Fatalf("missing phases: X=%v i=%v M=%v", sawComplete, sawInstant, sawMeta)
+	}
+}
+
+func TestJSONLParses(t *testing.T) {
+	o := New(Config{RingSize: 16})
+	r := o.NewRing("w")
+	r.Emit(Event{TS: 5, Type: EvWALAppend, Page: NoPage, Arg: 9})
+	r.Emit(Event{TS: 6, Type: EvEvict, From: TierDRAM, To: TierNVM, Page: 3})
+	var buf bytes.Buffer
+	if err := o.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["type"] != "wal-append" {
+		t.Fatalf("type = %v", rec["type"])
+	}
+	if _, hasPage := rec["page"]; hasPage {
+		t.Fatal("NoPage event must omit the page field")
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if rec["from"] != "dram" || rec["to"] != "nvm" || rec["page"].(float64) != 3 {
+		t.Fatalf("tier/page fields wrong: %v", rec)
+	}
+}
+
+type fakeSource struct{}
+
+func (fakeSource) ObsCounters() []Sample {
+	return []Sample{
+		{Name: "hit_dram", Value: 90},
+		{Name: "hit_nvm", Value: 5},
+		{Name: "miss_ssd", Value: 5},
+	}
+}
+func (fakeSource) ObsGauges() []Sample {
+	return []Sample{{Name: "dram_free_frames", Value: 12}}
+}
+
+func TestWritePrometheusValidates(t *testing.T) {
+	o := New(Config{})
+	o.SetSource(fakeSource{})
+	o.Hist(HFetchDRAM).Observe(150)
+	o.Hist(HFetchDRAM).Observe(90)
+	var buf bytes.Buffer
+	if err := o.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidatePrometheus(text); err != nil {
+		t.Fatalf("own output fails linter: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"spitfire_hit_dram_total 90",
+		"spitfire_dram_free_frames 12",
+		`spitfire_fetch_dram_ns{quantile="0.99"}`,
+		"spitfire_fetch_dram_ns_count 2",
+		"# TYPE spitfire_fetch_dram_ns summary",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Output must be byte-identical across scrapes (deterministic ordering).
+	var buf2 bytes.Buffer
+	o.WritePrometheus(&buf2)
+	if buf.String() != buf2.String() {
+		t.Fatal("Prometheus output not deterministic")
+	}
+}
+
+func TestValidatePrometheusCatchesGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad name":       "9metric 1\n",
+		"bad value":      "metric one\n",
+		"unclosed brace": "metric{a=\"b\" 1\n",
+		"unquoted label": "metric{a=b} 1\n",
+		"bad type":       "# TYPE m widget\nm 1\n",
+		"orphan type":    "# TYPE m counter\n",
+		"dup type":       "# TYPE m counter\n# TYPE m counter\nm 1\n",
+	}
+	for name, payload := range cases {
+		if err := ValidatePrometheus(payload); err == nil {
+			t.Errorf("%s: linter accepted %q", name, payload)
+		}
+	}
+	good := "# HELP m help text\n# TYPE m counter\nm{a=\"b\",c=\"d\"} 42 1700000000\nplain 3.5\n"
+	if err := ValidatePrometheus(good); err != nil {
+		t.Errorf("linter rejected valid payload: %v", err)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	o := New(Config{RingSize: 16})
+	o.SetSource(fakeSource{})
+	o.Hist(HFetchNVM).Observe(321)
+	r := o.NewRing("w")
+	r.Emit(Event{TS: 10, Dur: 4, Type: EvFetch, From: TierNVM, To: TierDRAM, Page: 1})
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if err := ValidatePrometheus(get("/metrics")); err != nil {
+		t.Fatalf("/metrics fails linter: %v", err)
+	}
+
+	snap1 := get("/snapshot.json")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(snap1), &doc); err != nil {
+		t.Fatalf("/snapshot.json not JSON: %v\n%s", err, snap1)
+	}
+	if doc["counters"].(map[string]any)["hit_dram"].(float64) != 90 {
+		t.Fatalf("snapshot counters wrong: %v", doc["counters"])
+	}
+	if doc["derived"].(map[string]any)["hit_rate"].(float64) != 0.95 {
+		t.Fatalf("derived hit_rate wrong: %v", doc["derived"])
+	}
+	// Second scrape carries interval deltas (zero here; the source is static).
+	snap2 := get("/snapshot.json")
+	if err := json.Unmarshal([]byte(snap2), &doc); err != nil {
+		t.Fatal(err)
+	}
+	deltas := doc["deltas"].(map[string]any)
+	if deltas["hit_dram"].(map[string]any)["delta"].(float64) != 0 {
+		t.Fatalf("expected zero delta on static source: %v", deltas)
+	}
+
+	trace := get("/trace.json")
+	var td struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(trace), &td); err != nil {
+		t.Fatalf("/trace.json not JSON: %v", err)
+	}
+	if len(td.TraceEvents) < 2 {
+		t.Fatalf("trace too small: %d events", len(td.TraceEvents))
+	}
+
+	if !strings.Contains(get("/events.jsonl"), `"type":"fetch"`) {
+		t.Fatal("/events.jsonl missing the fetch event")
+	}
+
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Fatal("pprof index not served")
+	}
+}
+
+func TestStartProgress(t *testing.T) {
+	o := New(Config{})
+	o.SetSource(fakeSource{})
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := o.StartProgress(w, 10*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := buf.Len()
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "[obs]") || !strings.Contains(out, "dram_free_frames=12") {
+		t.Fatalf("progress line missing content: %q", out)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -25,6 +25,8 @@ import (
 	"sync/atomic"
 
 	"github.com/spitfire-db/spitfire/internal/device"
+	"github.com/spitfire-db/spitfire/internal/metrics"
+	"github.com/spitfire-db/spitfire/internal/obs"
 	"github.com/spitfire-db/spitfire/internal/pmem"
 	"github.com/spitfire-db/spitfire/internal/vclock"
 )
@@ -195,6 +197,10 @@ type Options struct {
 	// nanoseconds to the appending worker's clock, doubling per attempt.
 	MaxRetries     int
 	RetryBackoffNs int64
+
+	// Obs attaches the observability layer: append/flush latency histograms
+	// and tracer events. Nil disables both.
+	Obs *obs.Obs
 }
 
 // bufHeaderSize reserves space at the front of the NVM buffer for the
@@ -221,6 +227,14 @@ type Manager struct {
 	appends atomic.Int64
 	flushes atomic.Int64
 	commits atomic.Int64
+
+	// Observability: the ring is only touched under mu (the append mutex is
+	// what provides the single-producer guarantee), so events from all
+	// appending workers serialize onto one "wal" track.
+	obs     *obs.Obs
+	hAppend *metrics.Histogram
+	hFlush  *metrics.Histogram
+	ring    *obs.Ring
 }
 
 // New creates a WAL manager over an empty log buffer.
@@ -249,6 +263,12 @@ func New(opt Options) (*Manager, error) {
 	m := &Manager{
 		pm: opt.Buffer, store: opt.Store, threshold: th,
 		retries: retries, backoffNs: backoff, bufOff: bufHeaderSize,
+	}
+	if opt.Obs != nil {
+		m.obs = opt.Obs
+		m.hAppend = opt.Obs.Hist(obs.HWALAppend)
+		m.hFlush = opt.Obs.Hist(obs.HWALFlush)
+		m.ring = opt.Obs.NewRing("wal")
 	}
 	m.nextLSN.Store(1)
 	ctx := vclock.New()
@@ -313,6 +333,10 @@ func (m *Manager) persistOffset(c *vclock.Clock) error {
 // appending worker pays for it, which charges the same total I/O).
 func (m *Manager) Append(c *vclock.Clock, rec *Record) (uint64, error) {
 	m.mu.Lock()
+	var start int64
+	if m.obs != nil {
+		start = c.Now()
+	}
 	rec.LSN = m.nextLSN.Add(1) - 1
 	// Encode into the manager's scratch buffer: zero allocations once it
 	// has grown to the steady-state record size.
@@ -353,6 +377,19 @@ func (m *Manager) Append(c *vclock.Clock, rec *Record) (uint64, error) {
 	if needFlush {
 		err = m.flushLocked(c)
 	}
+	if m.obs != nil {
+		now := c.Now()
+		m.hAppend.Observe(now - start)
+		out := obs.OutOK
+		if err != nil {
+			out = obs.OutError
+		}
+		m.ring.Emit(obs.Event{
+			TS: now, Dur: now - start,
+			Type: obs.EvWALAppend, From: obs.TierNVM, Outcome: out,
+			Page: obs.NoPage, Arg: int64(rec.LSN),
+		})
+	}
 	m.mu.Unlock()
 	m.appends.Add(1)
 	if rec.Type == RecCommit {
@@ -378,6 +415,10 @@ func (m *Manager) flushLocked(c *vclock.Clock) error {
 	if n <= 0 {
 		return nil
 	}
+	var start int64
+	if m.obs != nil {
+		start = c.Now()
+	}
 	data := make([]byte, n)
 	if err := m.retry(c, func() error { return m.pm.ReadErr(c, bufHeaderSize, data) }); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
@@ -394,6 +435,15 @@ func (m *Manager) flushLocked(c *vclock.Clock) error {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	m.flushes.Add(1)
+	if m.obs != nil {
+		now := c.Now()
+		m.hFlush.Observe(now - start)
+		m.ring.Emit(obs.Event{
+			TS: now, Dur: now - start,
+			Type: obs.EvWALFlush, From: obs.TierNVM, To: obs.TierSSD,
+			Page: obs.NoPage, Arg: n,
+		})
+	}
 	return nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"github.com/spitfire-db/spitfire/internal/core"
 	"github.com/spitfire-db/spitfire/internal/device"
 	"github.com/spitfire-db/spitfire/internal/engine"
+	"github.com/spitfire-db/spitfire/internal/obs"
 	"github.com/spitfire-db/spitfire/internal/pmem"
 	"github.com/spitfire-db/spitfire/internal/policy"
 	"github.com/spitfire-db/spitfire/internal/ssd"
@@ -208,12 +209,42 @@ func NewCrashSwitch() *CrashSwitch { return device.NewCrashSwitch() }
 // IsTorn extracts the torn fraction from an error chain.
 func IsTorn(err error) (frac float64, ok bool) { return device.IsTorn(err) }
 
+// Observability (DESIGN.md §5-quater): migration tracing, hot-path latency
+// histograms, and live metrics exposition.
+type (
+	// Obs is the root observability object. Create one with NewObs, pass it
+	// in Config.Obs (and WALOptions.Obs), and every hot path reports into
+	// it; a nil Obs keeps the zero-overhead fast path.
+	Obs = obs.Obs
+	// ObsConfig sizes the observability layer (tracer ring capacity, ring
+	// cap).
+	ObsConfig = obs.Config
+	// ObsServer is the live exposition HTTP server (Prometheus text, JSON
+	// snapshots, Chrome trace export, pprof). Start it with Obs.Serve.
+	ObsServer = obs.Server
+	// ObsSample is one named counter or gauge reading from an ObsSource.
+	ObsSample = obs.Sample
+	// ObsSource supplies live counters and gauges for the exposition
+	// endpoints; install one with Obs.SetSource.
+	ObsSource = obs.Source
+	// TraceEvent is one tracer event (migration, eviction, WAL append...).
+	TraceEvent = obs.Event
+	// TraceRing is a per-worker lock-free event ring.
+	TraceRing = obs.Ring
+)
+
+// NewObs creates an observability instance (zero config takes defaults).
+func NewObs(cfg ObsConfig) *Obs { return obs.New(cfg) }
+
 // Adaptive tuning (§4).
 type (
 	// Tuner runs the simulated-annealing policy search.
 	Tuner = anneal.Tuner
 	// TunerOptions configures a Tuner.
 	TunerOptions = anneal.Options
+	// TunerEpochStep describes one completed annealing epoch to the
+	// TunerOptions.OnEpoch observer hook.
+	TunerEpochStep = anneal.EpochStep
 )
 
 // NewTuner creates a policy tuner.
