@@ -180,6 +180,7 @@ func runTorture(args []string, seed uint64) {
 	keys := fs.Int("keys", 2048, "distinct keys")
 	ops := fs.Int("ops", 150, "updates per worker per cycle")
 	transient := fs.Float64("transient", 0, "transient fault probability on the NVM data arena")
+	finegrained := fs.Bool("finegrained", false, "torture the fine-grained (per-unit) loading path")
 	degraded := fs.Bool("degraded", false, "also run the permanent-NVM-failure YCSB degradation check")
 	verbose := fs.Bool("v", false, "log per-cycle progress")
 	_ = fs.Parse(args)
@@ -187,6 +188,7 @@ func runTorture(args []string, seed uint64) {
 	opts := harness.TortureOpts{
 		Cycles: *cycles, Workers: *workers, Keys: *keys,
 		OpsPerCycle: *ops, Seed: seed, TransientProb: *transient,
+		FineGrained: *finegrained,
 	}
 	if *verbose {
 		opts.Log = func(format string, a ...any) {

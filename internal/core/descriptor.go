@@ -45,9 +45,9 @@ type location struct {
 
 // load snapshots the frame slots under mu.
 func (d *descriptor) load() location {
-	d.mu.Lock()
+	d.lockMu()
 	l := location{d.dramFrame, d.dramMini, d.nvmFrame}
-	d.mu.Unlock()
+	d.unlockMu()
 	return l
 }
 

@@ -29,10 +29,10 @@ func allocExpired(i int, start *time.Time) bool {
 		return false
 	}
 	if start.IsZero() {
-		*start = time.Now()
+		*start = time.Now() //vet:allow determinism host-side liveness deadline, never feeds simulated time
 		return false
 	}
-	return time.Since(*start) > allocDeadline
+	return time.Since(*start) > allocDeadline //vet:allow determinism host-side liveness deadline, never feeds simulated time
 }
 
 // alloc returns a frozen, clean DRAM frame, evicting a victim if the free
@@ -98,27 +98,27 @@ func (bm *BufferManager) evictDRAMFrame(ctx *Ctx, v int32) (bool, error) {
 		m.thaw()
 		return false, nil
 	}
-	d.mu.Lock()
+	d.lockMu()
 	match := d.dramFrame == v
-	d.mu.Unlock()
+	d.unlockMu()
 	if !match {
 		m.thaw()
 		return false, nil
 	}
-	if !d.latchD.TryLock() {
+	if !d.tryLockD() {
 		m.thaw()
 		return false, nil
 	}
 	ok, err := bm.writeBackDRAM(ctx, d, v)
 	if !ok {
-		d.latchD.Unlock()
+		d.unlockD()
 		m.thaw()
 		return false, err
 	}
-	d.mu.Lock()
+	d.lockMu()
 	d.dramFrame = noFrame
-	d.mu.Unlock()
-	d.latchD.Unlock()
+	d.unlockMu()
+	d.unlockD()
 	m.pid.Store(InvalidPageID)
 	m.dirty.Store(false)
 	m.fg.Store(nil)
@@ -160,10 +160,10 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 		if !dirty {
 			return true, nil
 		}
-		if !d.latchN.TryLock() {
+		if !d.tryLockN() {
 			return false, nil
 		}
-		defer d.latchN.Unlock()
+		defer d.unlockN()
 		nm := &bm.nvm.meta[loc.nvmFrame]
 		if !nm.freezeWait(d.pid) {
 			return false, nil
@@ -208,7 +208,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 			!nvmOK || loc.nvmFrame != noFrame || !bm.admQueue.Admit(d.pid) {
 			return true, nil
 		}
-		if !d.latchN.TryLock() {
+		if !d.tryLockN() {
 			return true, nil // clean: safe to just drop instead
 		}
 		nf, err := bm.nvm.alloc(bm, ctx)
@@ -224,16 +224,16 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 				if ctx.cleaner {
 					bm.stats.cleanerAdmittedNVM.Inc()
 				}
-				d.mu.Lock()
+				d.lockMu()
 				d.nvmFrame = nf
-				d.mu.Unlock()
+				d.unlockMu()
 				bm.nvm.meta[nf].thaw()
 				bm.nvm.clock.Ref(int(nf))
 				bm.stats.dramToNVM.Inc()
 				bm.emit(ctx, obs.Event{Type: obs.EvAdmit, From: obs.TierDRAM, To: obs.TierNVM, Page: d.pid})
 			}
 		}
-		d.latchN.Unlock()
+		d.unlockN()
 		return true, nil
 	}
 
@@ -241,10 +241,10 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 	if loc.nvmFrame != noFrame {
 		// Refresh the page's existing NVM copy so NVM never goes stale
 		// ahead of SSD write-back.
-		if !d.latchN.TryLock() {
+		if !d.tryLockN() {
 			return false, nil
 		}
-		defer d.latchN.Unlock()
+		defer d.unlockN()
 		nm := &bm.nvm.meta[loc.nvmFrame]
 		if !nm.freezeWait(d.pid) {
 			return false, nil
@@ -277,7 +277,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 		}
 	}
 	if admit {
-		if !d.latchN.TryLock() {
+		if !d.tryLockN() {
 			return false, nil
 		}
 		nf, err := bm.nvm.alloc(bm, ctx)
@@ -287,7 +287,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 				// Admission failed mid-install; the page has no NVM copy yet,
 				// so fall back to writing it straight to SSD below.
 				bm.nvm.release(nf)
-				d.latchN.Unlock()
+				d.unlockN()
 			} else {
 				bm.nvm.meta[nf].pid.Store(d.pid)
 				bm.nvm.meta[nf].dirty.Store(true)
@@ -295,19 +295,19 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 				if ctx.cleaner {
 					bm.stats.cleanerAdmittedNVM.Inc()
 				}
-				d.mu.Lock()
+				d.lockMu()
 				d.nvmFrame = nf
-				d.mu.Unlock()
+				d.unlockMu()
 				bm.nvm.meta[nf].thaw()
 				bm.nvm.clock.Ref(int(nf))
-				d.latchN.Unlock()
+				d.unlockN()
 				bm.stats.dramToNVM.Inc()
 				bm.emit(ctx, obs.Event{Type: obs.EvAdmit, From: obs.TierDRAM, To: obs.TierNVM, Page: d.pid})
 				return true, nil
 			}
 		} else {
 			// NVM itself is unevictable right now; fall through to SSD.
-			d.latchN.Unlock()
+			d.unlockN()
 			if isIOErr(err) && !errors.Is(err, device.ErrCrashed) {
 				// note and keep going: SSD can still take the page
 				bm.noteNVMErr(err)
@@ -317,10 +317,10 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 		}
 	}
 
-	if !d.latchS.TryLock() {
+	if !d.tryLockS() {
 		return false, nil
 	}
-	defer d.latchS.Unlock()
+	defer d.unlockS()
 	p.charge.ChargeRead(ctx.Clock, p.frameOffset(v), PageSize)
 	if err := bm.diskWritePage(ctx.Clock, d.pid, frame); err != nil {
 		return false, err
@@ -374,14 +374,14 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) (bool, error) {
 		m.thaw()
 		return false, nil
 	}
-	d.mu.Lock()
+	d.lockMu()
 	match := d.dramMini == v
-	d.mu.Unlock()
+	d.unlockMu()
 	if !match {
 		m.thaw()
 		return false, nil
 	}
-	if !d.latchD.TryLock() {
+	if !d.tryLockD() {
 		m.thaw()
 		return false, nil
 	}
@@ -391,19 +391,19 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) (bool, error) {
 		if loc.nvmFrame == noFrame {
 			// Invariant violation guard: never drop dirty mini slots with
 			// no backing copy.
-			d.latchD.Unlock()
+			d.unlockD()
 			m.thaw()
 			return false, nil
 		}
-		if !d.latchN.TryLock() {
-			d.latchD.Unlock()
+		if !d.tryLockN() {
+			d.unlockD()
 			m.thaw()
 			return false, nil
 		}
 		nm := &bm.nvm.meta[loc.nvmFrame]
 		if !nm.freezeWait(pid) {
-			d.latchN.Unlock()
-			d.latchD.Unlock()
+			d.unlockN()
+			d.unlockD()
 			m.thaw()
 			return false, nil
 		}
@@ -426,20 +426,20 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) (bool, error) {
 		fg.mu.Unlock()
 		if werr != nil {
 			nm.thaw()
-			d.latchN.Unlock()
-			d.latchD.Unlock()
+			d.unlockN()
+			d.unlockD()
 			m.thaw()
 			return false, werr
 		}
 		nm.dirty.Store(true)
 		nm.thaw()
-		d.latchN.Unlock()
+		d.unlockN()
 		bm.stats.dramToNVM.Inc()
 	}
-	d.mu.Lock()
+	d.lockMu()
 	d.dramMini = noFrame
-	d.mu.Unlock()
-	d.latchD.Unlock()
+	d.unlockMu()
+	d.unlockD()
 	m.pid.Store(InvalidPageID)
 	m.dirty.Store(false)
 	m.fg.Store(nil)
@@ -510,38 +510,38 @@ func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) (bool, error) {
 		m.thaw()
 		return false, nil
 	}
-	d.mu.Lock()
+	d.lockMu()
 	match := d.nvmFrame == v
-	d.mu.Unlock()
+	d.unlockMu()
 	if !match {
 		m.thaw()
 		return false, nil
 	}
-	if !d.latchN.TryLock() {
+	if !d.tryLockN() {
 		m.thaw()
 		return false, nil
 	}
 	// Re-check DRAM dependencies under latchN (migrations up require it,
 	// so no new fine-grained page can appear once we hold it).
-	d.mu.Lock()
+	d.lockMu()
 	mini := d.dramMini != noFrame
 	df := d.dramFrame
-	d.mu.Unlock()
+	d.unlockMu()
 	if mini {
-		d.latchN.Unlock()
+		d.unlockN()
 		m.thaw()
 		return false, nil
 	}
 	if df != noFrame && bm.dram != nil {
 		if fg := bm.dram.meta[df].fg.Load(); fg != nil && !fg.fullyResident() {
-			d.latchN.Unlock()
+			d.unlockN()
 			m.thaw()
 			return false, nil
 		}
 	}
 	if m.dirty.Load() {
-		if !d.latchS.TryLock() {
-			d.latchN.Unlock()
+		if !d.tryLockS() {
+			d.unlockN()
 			m.thaw()
 			return false, nil
 		}
@@ -550,9 +550,9 @@ func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) (bool, error) {
 		if err == nil {
 			err = bm.diskWritePage(ctx.Clock, pid, buf)
 		}
-		d.latchS.Unlock()
+		d.unlockS()
 		if err != nil {
-			d.latchN.Unlock()
+			d.unlockN()
 			m.thaw()
 			return false, err
 		}
@@ -564,14 +564,14 @@ func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) (bool, error) {
 	// abandoning it here while its valid header survives in the arena would
 	// let a crash-recovery scan revive a page the manager thinks it evicted.
 	if err := bm.nvmWriteHeader(ctx.Clock, v, InvalidPageID, false); err != nil {
-		d.latchN.Unlock()
+		d.unlockN()
 		m.thaw()
 		return false, err
 	}
-	d.mu.Lock()
+	d.lockMu()
 	d.nvmFrame = noFrame
-	d.mu.Unlock()
-	d.latchN.Unlock()
+	d.unlockMu()
+	d.unlockN()
 	m.pid.Store(InvalidPageID)
 	m.dirty.Store(false)
 	m.clAdmit.Store(false)

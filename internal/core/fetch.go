@@ -68,16 +68,16 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 	pol := bm.pol.Load()
 
 	for attempt := 0; ; attempt++ {
-		d.mu.Lock()
+		d.lockMu()
 		// DRAM full frame.
 		if f := d.dramFrame; f != noFrame {
 			if bm.dram.meta[f].tryPin() {
-				d.mu.Unlock()
+				d.unlockMu()
 				bm.dram.clock.Ref(int(f))
 				bm.stats.hitDRAM.Inc()
 				return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howHitDRAM}, nil
 			}
-			d.mu.Unlock() // frozen mid-eviction; wait it out
+			d.unlockMu() // frozen mid-eviction; wait it out
 			backoff(attempt)
 			continue
 		}
@@ -85,12 +85,12 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 		if f := d.dramMini; f != noFrame {
 			mp := bm.dram.mini
 			if mp.meta[f].tryPin() {
-				d.mu.Unlock()
+				d.unlockMu()
 				mp.clock.Ref(int(f))
 				bm.stats.hitMini.Inc()
 				return &Handle{bm: bm, d: d, tier: TierMini, frame: f, how: howHitMini}, nil
 			}
-			d.mu.Unlock()
+			d.unlockMu()
 			backoff(attempt)
 			continue
 		}
@@ -99,7 +99,7 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 			if bm.nvmDown() {
 				// The tier died; this descriptor raced the degradation walk.
 				// Detach its dead copy inline and retry as a miss/DRAM hit.
-				d.mu.Unlock()
+				d.unlockMu()
 				bm.detachDeadNVM(d)
 				continue
 			}
@@ -113,7 +113,7 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 			}
 			if !migrate {
 				if bm.nvm.meta[f].tryPin() {
-					d.mu.Unlock()
+					d.unlockMu()
 					bm.nvm.clock.Ref(int(f))
 					bm.stats.hitNVM.Inc()
 					if bm.nvm.meta[f].clAdmit.Load() {
@@ -121,11 +121,11 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 					}
 					return &Handle{bm: bm, d: d, tier: TierNVM, frame: f, how: howHitNVM}, nil
 				}
-				d.mu.Unlock()
+				d.unlockMu()
 				backoff(attempt)
 				continue
 			}
-			d.mu.Unlock()
+			d.unlockMu()
 			if h, err := bm.migrateUp(ctx, d); err != nil {
 				return nil, err
 			} else if h != nil {
@@ -133,7 +133,7 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 			}
 			continue // state changed under us; retry
 		}
-		d.mu.Unlock()
+		d.unlockMu()
 
 		// Miss on both buffers: fetch from SSD.
 		h, err := bm.fetchMiss(ctx, d, pol)
@@ -158,10 +158,10 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 // (nil, nil) if the descriptor changed underneath and the caller should
 // retry.
 func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
-	d.latchD.Lock()
-	d.latchN.Lock()
-	defer d.latchN.Unlock()
-	defer d.latchD.Unlock()
+	d.lockD()
+	d.lockN()
+	defer d.unlockN()
+	defer d.unlockD()
 
 	loc := d.load()
 	if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame == noFrame {
@@ -188,9 +188,9 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 			mp.meta[mf].pid.Store(d.pid)
 			mp.meta[mf].dirty.Store(false)
 			mp.meta[mf].fg.Store(newMiniFG(bm.cfg.LoadingUnit))
-			d.mu.Lock()
+			d.lockMu()
 			d.dramMini = mf
-			d.mu.Unlock()
+			d.unlockMu()
 			mp.meta[mf].pins.Store(1)
 			mp.clock.Ref(int(mf))
 			bm.stats.migNVMToDRAM.Inc()
@@ -206,9 +206,9 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 		bm.dram.meta[f].pid.Store(d.pid)
 		bm.dram.meta[f].dirty.Store(false)
 		bm.dram.meta[f].fg.Store(newFullFG(bm.cfg.LoadingUnit))
-		d.mu.Lock()
+		d.lockMu()
 		d.dramFrame = f
-		d.mu.Unlock()
+		d.unlockMu()
 		bm.dram.meta[f].pins.Store(1)
 		bm.dram.clock.Ref(int(f))
 		bm.stats.migNVMToDRAM.Inc()
@@ -236,9 +236,9 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 	bm.dram.meta[f].pid.Store(d.pid)
 	bm.dram.meta[f].dirty.Store(false)
 	bm.dram.meta[f].fg.Store(nil)
-	d.mu.Lock()
+	d.lockMu()
 	d.dramFrame = f
-	d.mu.Unlock()
+	d.unlockMu()
 	bm.dram.meta[f].pins.Store(1)
 	bm.dram.clock.Ref(int(f))
 	bm.stats.migNVMToDRAM.Inc()
@@ -267,10 +267,10 @@ func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) 
 		// NVM route failed; fall through to the DRAM route below.
 	}
 
-	d.latchD.Lock()
-	d.latchS.Lock()
-	defer d.latchS.Unlock()
-	defer d.latchD.Unlock()
+	d.lockD()
+	d.lockS()
+	defer d.unlockS()
+	defer d.unlockD()
 	loc := d.load()
 	if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame != noFrame {
 		return nil, nil
@@ -287,9 +287,9 @@ func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) 
 	bm.dram.meta[f].pid.Store(d.pid)
 	bm.dram.meta[f].dirty.Store(false)
 	bm.dram.meta[f].fg.Store(nil)
-	d.mu.Lock()
+	d.lockMu()
 	d.dramFrame = f
-	d.mu.Unlock()
+	d.unlockMu()
 	bm.dram.meta[f].pins.Store(1)
 	bm.dram.clock.Ref(int(f))
 	bm.stats.ssdToDRAM.Inc()
@@ -301,10 +301,10 @@ func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) 
 // and persisted before the self-identifying header, so a crash mid-install
 // leaves an invalid frame, never a valid header over torn data.
 func (bm *BufferManager) fetchMissNVM(ctx *Ctx, d *descriptor) (*Handle, error) {
-	d.latchN.Lock()
-	d.latchS.Lock()
-	defer d.latchS.Unlock()
-	defer d.latchN.Unlock()
+	d.lockN()
+	d.lockS()
+	defer d.unlockS()
+	defer d.unlockN()
 	loc := d.load()
 	if loc.dramFrame != noFrame || loc.dramMini != noFrame || loc.nvmFrame != noFrame {
 		return nil, nil
@@ -325,9 +325,9 @@ func (bm *BufferManager) fetchMissNVM(ctx *Ctx, d *descriptor) (*Handle, error) 
 	bm.nvm.meta[nf].pid.Store(d.pid)
 	bm.nvm.meta[nf].dirty.Store(false)
 	bm.nvm.meta[nf].clAdmit.Store(false)
-	d.mu.Lock()
+	d.lockMu()
 	d.nvmFrame = nf
-	d.mu.Unlock()
+	d.unlockMu()
 	bm.nvm.meta[nf].pins.Store(1)
 	bm.nvm.clock.Ref(int(nf))
 	bm.stats.ssdToNVM.Inc()
@@ -355,8 +355,8 @@ func (bm *BufferManager) materialize(ctx *Ctx, pid PageID) (*Handle, error) {
 	toDRAM := bm.dram != nil && (bm.nvm == nil || bm.nvmDown() || ctx.bernoulli(pol.Dw))
 
 	if toDRAM {
-		d.latchD.Lock()
-		defer d.latchD.Unlock()
+		d.lockD()
+		defer d.unlockD()
 		f, err := bm.dram.alloc(bm, ctx)
 		if err != nil {
 			return nil, err
@@ -369,16 +369,16 @@ func (bm *BufferManager) materialize(ctx *Ctx, pid PageID) (*Handle, error) {
 		bm.dram.meta[f].pid.Store(pid)
 		bm.dram.meta[f].dirty.Store(true)
 		bm.dram.meta[f].fg.Store(nil)
-		d.mu.Lock()
+		d.lockMu()
 		d.dramFrame = f
-		d.mu.Unlock()
+		d.unlockMu()
 		bm.dram.meta[f].pins.Store(1)
 		bm.dram.clock.Ref(int(f))
 		return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
 	}
 
-	d.latchN.Lock()
-	defer d.latchN.Unlock()
+	d.lockN()
+	defer d.unlockN()
 	nf, err := bm.nvm.alloc(bm, ctx)
 	if err != nil {
 		return nil, err
@@ -394,9 +394,9 @@ func (bm *BufferManager) materialize(ctx *Ctx, pid PageID) (*Handle, error) {
 	bm.nvm.meta[nf].pid.Store(pid)
 	bm.nvm.meta[nf].dirty.Store(true)
 	bm.nvm.meta[nf].clAdmit.Store(false)
-	d.mu.Lock()
+	d.lockMu()
 	d.nvmFrame = nf
-	d.mu.Unlock()
+	d.unlockMu()
 	bm.nvm.meta[nf].pins.Store(1)
 	bm.nvm.clock.Ref(int(nf))
 	return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf}, nil

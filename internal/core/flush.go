@@ -50,10 +50,10 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 	if !m.dirty.Load() {
 		return true, nil
 	}
-	if !d.latchD.TryLock() {
+	if !d.tryLockD() {
 		return false, nil
 	}
-	defer d.latchD.Unlock()
+	defer d.unlockD()
 	// Re-verify under the latch.
 	loc = d.load()
 	if full && loc.dramFrame != v || mini && loc.dramMini != v {
@@ -75,10 +75,10 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 		if loc.nvmFrame == noFrame {
 			return false, nil
 		}
-		if !d.latchN.TryLock() {
+		if !d.tryLockN() {
 			return false, nil
 		}
-		defer d.latchN.Unlock()
+		defer d.unlockN()
 		nm := &bm.nvm.meta[loc.nvmFrame]
 		if !nm.freezeWait(d.pid) {
 			return false, nil
@@ -112,10 +112,10 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 	fg := m.fg.Load()
 	frame := bm.dram.frame(v)
 	if loc.nvmFrame != noFrame {
-		if !d.latchN.TryLock() {
+		if !d.tryLockN() {
 			return false, nil
 		}
-		defer d.latchN.Unlock()
+		defer d.unlockN()
 		nm := &bm.nvm.meta[loc.nvmFrame]
 		if !nm.freezeWait(d.pid) {
 			return false, nil
@@ -153,10 +153,10 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 
 	// No NVM copy: checkpoint straight to SSD. (A fine-grained page with
 	// no NVM copy is fully resident by invariant.)
-	if !d.latchS.TryLock() {
+	if !d.tryLockS() {
 		return false, nil
 	}
-	defer d.latchS.Unlock()
+	defer d.unlockS()
 	bm.dram.charge.ChargeRead(ctx.Clock, bm.dram.frameOffset(v), PageSize)
 	if err := bm.diskWritePage(ctx.Clock, d.pid, frame); err != nil {
 		return false, err
@@ -202,8 +202,8 @@ func (bm *BufferManager) FlushAll(ctx *Ctx) error {
 		if !m.dirty.Load() {
 			continue
 		}
-		d.latchN.Lock()
-		d.latchS.Lock()
+		d.lockN()
+		d.lockS()
 		loc = d.load()
 		if loc.nvmFrame != noFrame && bm.nvm.meta[loc.nvmFrame].dirty.Load() {
 			buf := ctx.buf()
@@ -212,15 +212,15 @@ func (bm *BufferManager) FlushAll(ctx *Ctx) error {
 				err = bm.diskWritePage(ctx.Clock, d.pid, buf)
 			}
 			if err != nil {
-				d.latchS.Unlock()
-				d.latchN.Unlock()
+				d.unlockS()
+				d.unlockN()
 				return err
 			}
 			bm.nvm.meta[loc.nvmFrame].dirty.Store(false)
 			bm.stats.flushedNVMPages.Inc()
 		}
-		d.latchS.Unlock()
-		d.latchN.Unlock()
+		d.unlockS()
+		d.unlockN()
 	}
 	return nil
 }

@@ -148,9 +148,9 @@ func (h *Handle) WriteAt(ctx *Ctx, off int, data []byte) error {
 
 // nvmBacking returns the page's current NVM frame, or noFrame.
 func (h *Handle) nvmBacking() int32 {
-	h.d.mu.Lock()
+	h.d.lockMu()
 	nf := h.d.nvmFrame
-	h.d.mu.Unlock()
+	h.d.unlockMu()
 	return nf
 }
 
@@ -401,10 +401,10 @@ func (h *Handle) promoteMini(ctx *Ctx) bool {
 	h.bm.dram.meta[f].fg.Store(newFG)
 
 	old := h.frame
-	h.d.mu.Lock()
+	h.d.lockMu()
 	h.d.dramMini = noFrame
 	h.d.dramFrame = f
-	h.d.mu.Unlock()
+	h.d.unlockMu()
 
 	h.bm.dram.meta[f].pins.Store(1) // transfer our pin to the full frame
 	h.bm.dram.clock.Ref(int(f))

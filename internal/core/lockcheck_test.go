@@ -1,0 +1,87 @@
+//go:build lockcheck
+
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mustPanic runs f and returns the lockcheck panic message, failing the
+// test if f completes without panicking.
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected a lockcheck panic, got none")
+			}
+			msg = fmt.Sprint(r)
+		}()
+		f()
+	}()
+	return msg
+}
+
+// TestLockcheckPanicsOnInversion proves the runtime checker catches a
+// deliberately inverted latchS → latchN acquisition before it can block.
+func TestLockcheckPanicsOnInversion(t *testing.T) {
+	d := &descriptor{}
+	d.lockS()
+	defer d.unlockS()
+	msg := mustPanic(t, func() { d.lockN() })
+	if !strings.Contains(msg, "tier order is latchD → latchN → latchS") {
+		t.Fatalf("panic message missing tier-order explanation: %q", msg)
+	}
+	if !strings.Contains(msg, "earlier acquisition of latchS") {
+		t.Fatalf("panic message missing the conflicting acquisition stack: %q", msg)
+	}
+}
+
+// TestLockcheckPanicsUnderMu proves mu is enforced as a leaf lock.
+func TestLockcheckPanicsUnderMu(t *testing.T) {
+	d := &descriptor{}
+	d.lockMu()
+	defer d.unlockMu()
+	msg := mustPanic(t, func() { d.lockD() })
+	if !strings.Contains(msg, "mu is a leaf lock") {
+		t.Fatalf("panic message missing leaf-lock explanation: %q", msg)
+	}
+}
+
+// TestLockcheckPanicsOnSecondDescriptorBlocking proves a blocking tier Lock
+// on a second descriptor panics while a TryLock is accepted.
+func TestLockcheckPanicsOnSecondDescriptorBlocking(t *testing.T) {
+	a, b := &descriptor{}, &descriptor{}
+	a.lockD()
+	defer a.unlockD()
+	msg := mustPanic(t, func() { b.lockD() })
+	if !strings.Contains(msg, "second descriptors only via TryLock") {
+		t.Fatalf("panic message missing TryLock guidance: %q", msg)
+	}
+	if !b.tryLockD() {
+		t.Fatal("uncontended TryLock on second descriptor failed")
+	}
+	b.unlockD()
+}
+
+// TestLockcheckAllowsDiscipline runs the full legal sequence — tiers in
+// order with skips, mu as a leaf under a tier latch, TryLock on a second
+// descriptor — and expects no panic.
+func TestLockcheckAllowsDiscipline(t *testing.T) {
+	a, b := &descriptor{}, &descriptor{}
+	a.lockD()
+	a.lockS() // skipping latchN is legal
+	a.lockMu()
+	a.unlockMu()
+	if b.tryLockN() {
+		b.unlockN()
+	}
+	b.lockMu() // blocking mu on a second descriptor is legal (leaf)
+	b.unlockMu()
+	a.unlockS()
+	a.unlockD()
+}

@@ -130,6 +130,10 @@ func TestObsConcurrentChurn(t *testing.T) {
 		}
 	}()
 	errs := make([]error, workers)
+	// Per-page locks stand in for the engine's record-level concurrency
+	// control: the buffer manager hands out concurrent handles to one page
+	// by design, so unsynchronized test reads would race test writes.
+	var pageLocks [pages]sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -142,8 +146,10 @@ func TestObsConcurrentChurn(t *testing.T) {
 				if i%3 == 0 {
 					intent = WriteIntent
 				}
+				pageLocks[pid].Lock()
 				h, err := bm.FetchPage(ctx, pid, intent)
 				if err != nil {
+					pageLocks[pid].Unlock()
 					errs[w] = err
 					return
 				}
@@ -154,6 +160,7 @@ func TestObsConcurrentChurn(t *testing.T) {
 					err = h.ReadAt(ctx, 0, data)
 				}
 				h.Release()
+				pageLocks[pid].Unlock()
 				if err != nil {
 					errs[w] = err
 					return

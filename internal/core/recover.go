@@ -76,9 +76,9 @@ func Recover(cfg Config) (*BufferManager, error) {
 		np.meta[f].dirty.Store(true) // conservatively newer than SSD
 		np.meta[f].pins.Store(0)
 		d := bm.descriptorFor(pid)
-		d.mu.Lock()
+		d.lockMu()
 		d.nvmFrame = f
-		d.mu.Unlock()
+		d.unlockMu()
 		bm.stats.recoveredNVMPages.Inc()
 		if pid >= maxPID {
 			maxPID = pid + 1

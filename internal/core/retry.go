@@ -163,15 +163,15 @@ func (bm *BufferManager) degradeNVM() {
 // an NVM copy. FetchPage also calls it inline for descriptors that raced the
 // degradation walk.
 func (bm *BufferManager) detachDeadNVM(d *descriptor) {
-	d.mu.Lock()
+	d.lockMu()
 	nf := d.nvmFrame
 	if nf == noFrame {
-		d.mu.Unlock()
+		d.unlockMu()
 		return
 	}
 	d.nvmFrame = noFrame
 	df := d.dramFrame
-	d.mu.Unlock()
+	d.unlockMu()
 
 	wasDirty := bm.nvm.meta[nf].dirty.Load()
 	bm.nvm.meta[nf].pid.Store(InvalidPageID)

@@ -233,7 +233,9 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		return nil, err
 	}
 	e.nextCkpt.Store(cfg.CheckpointEvery)
-	cfg.Obs.SetSource(e) // nil-safe
+	if cfg.Obs != nil {
+		cfg.Obs.SetSource(e)
+	}
 	return e, nil
 }
 
@@ -399,7 +401,10 @@ func (e *Env) run(workers, opsPerWorker int, seed uint64, measured bool) (PointR
 					lat.Observe(ctx.Clock.Now() - opStart)
 				}
 				if ok {
-					e.maybeCheckpoint(ctx)
+					if err := e.maybeCheckpoint(ctx); err != nil {
+						r.err = err
+						return
+					}
 				}
 			}
 			r.elapsed = ctx.Clock.Now() - start
@@ -442,9 +447,11 @@ func (e *Env) run(workers, opsPerWorker int, seed uint64, measured bool) (PointR
 	out.SSDBytesRead = after.ssdReads - before.ssdReads
 	out.Inclusivity = e.BM.Inclusivity()
 	out.Stats = e.BM.Stats()
-	out.LatencyMeanNs = lat.Mean()
-	out.LatencyP50Ns = lat.Percentile(50)
-	out.LatencyP99Ns = lat.Percentile(99)
+	if lat != nil {
+		out.LatencyMeanNs = lat.Mean()
+		out.LatencyP50Ns = lat.Percentile(50)
+		out.LatencyP99Ns = lat.Percentile(99)
+	}
 	return out, nil
 }
 
@@ -454,25 +461,30 @@ func (e *Env) run(workers, opsPerWorker int, seed uint64, measured bool) (PointR
 // pages are never flushed. The flushing worker pays the simulated cost,
 // which is how the "performance bumps ... caused by dirty page flushes"
 // (§6.4) arise.
-func (e *Env) maybeCheckpoint(ctx *core.Ctx) {
+func (e *Env) maybeCheckpoint(ctx *core.Ctx) error {
 	every := e.cfg.CheckpointEvery
 	if every <= 0 || e.cfg.DisableWAL {
-		return
+		return nil
 	}
 	n := e.commits.Add(1)
 	if n < e.nextCkpt.Load() {
-		return
+		return nil
 	}
 	if !e.ckptMu.TryLock() {
-		return // another worker is already checkpointing
+		return nil // another worker is already checkpointing
 	}
 	defer e.ckptMu.Unlock()
 	if n < e.nextCkpt.Load() {
-		return
+		return nil
 	}
 	e.nextCkpt.Add(every)
-	_, _ = e.BM.FlushDirtyDRAM(ctx)
-	if e.DB.WAL() != nil {
-		_ = e.DB.WAL().Flush(ctx.Clock)
+	if _, err := e.BM.FlushDirtyDRAM(ctx); err != nil {
+		return fmt.Errorf("checkpoint flush: %w", err)
 	}
+	if e.DB.WAL() != nil {
+		if err := e.DB.WAL().Flush(ctx.Clock); err != nil {
+			return fmt.Errorf("checkpoint wal flush: %w", err)
+		}
+	}
+	return nil
 }

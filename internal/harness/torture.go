@@ -50,6 +50,11 @@ type TortureOpts struct {
 	// The WAL and SSD devices stay fault-free outside crash points so commit
 	// acknowledgements remain trustworthy.
 	TransientProb float64
+	// FineGrained tortures the cache-line-grained loading path (§2.1):
+	// DRAM frames backed by an NVM copy fault 256 B units in on demand, so
+	// crashes and transient faults land mid-unit-fill instead of on
+	// whole-page copies.
+	FineGrained bool
 	// Log, if non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -180,11 +185,12 @@ func (t *torture) geometry() (dramBytes, nvmBytes int64) {
 func (t *torture) coreCfg() core.Config {
 	dramBytes, nvmBytes := t.geometry()
 	return core.Config{
-		DRAMBytes: dramBytes,
-		NVMBytes:  nvmBytes,
-		Policy:    policy.SpitfireEager,
-		SSD:       t.disk,
-		PMem:      t.dataPM,
+		DRAMBytes:   dramBytes,
+		NVMBytes:    nvmBytes,
+		Policy:      policy.SpitfireEager,
+		SSD:         t.disk,
+		PMem:        t.dataPM,
+		FineGrained: t.opts.FineGrained,
 	}
 }
 

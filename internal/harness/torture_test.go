@@ -50,6 +50,29 @@ func TestTortureWithTransients(t *testing.T) {
 	}
 }
 
+// TestTortureFineGrained runs the crash-recover torture with per-unit
+// (cache-line-grained) loading on, so crashes and transient faults land
+// mid-unit-fill instead of on whole-page copies.
+func TestTortureFineGrained(t *testing.T) {
+	opts := TortureOpts{
+		Cycles: 5, Workers: 3, Keys: 512, OpsPerCycle: 60,
+		Seed: 0xF19E, FineGrained: true, TransientProb: 0.01,
+	}
+	if testing.Short() {
+		opts.Cycles = 2
+	}
+	res, err := Torture(opts)
+	if err != nil {
+		t.Fatalf("fine-grained torture: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if res.Commits == 0 {
+		t.Error("no transactions committed across the fine-grained torture run")
+	}
+}
+
 // TestDegradedRun fails the NVM data arena permanently mid-run and checks
 // the manager collapses to two-tier DRAM-SSD mode and keeps committing.
 func TestDegradedRun(t *testing.T) {

@@ -286,6 +286,11 @@ func TestValidatePrometheusCatchesGarbage(t *testing.T) {
 		"bad type":       "# TYPE m widget\nm 1\n",
 		"orphan type":    "# TYPE m counter\n",
 		"dup type":       "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"dup help":       "# HELP m a\n# HELP m b\nm 1\n",
+		"type after":     "m 1\n# TYPE m counter\n",
+		"help after":     "m 1\n# HELP m text\n",
+		"split family":   "a 1\nb 2\na 3\n",
+		"split summary":  "m_sum 1\nm_count 1\nother 2\nm{quantile=\"0.5\"} 1\n",
 	}
 	for name, payload := range cases {
 		if err := ValidatePrometheus(payload); err == nil {

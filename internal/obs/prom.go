@@ -85,12 +85,15 @@ func (o *Obs) WritePrometheus(w io.Writer) error {
 // ValidatePrometheus is a minimal linter for the text exposition format,
 // strict enough to catch the mistakes a hand-rolled writer can make:
 // malformed metric names, values that don't parse as numbers, TYPE lines
-// for metrics that never appear, samples with no preceding TYPE, duplicate
-// TYPE declarations, and unbalanced label braces. Returns nil when the
-// payload parses.
+// for metrics that never appear, HELP/TYPE lines that trail their samples
+// (the spec requires metadata to precede its series), duplicate HELP/TYPE
+// declarations, non-contiguous (duplicate) metric families, and unbalanced
+// label braces. Returns nil when the payload parses.
 func ValidatePrometheus(payload string) error {
 	typed := map[string]string{} // metric family -> declared type
+	helped := map[string]bool{}  // families with a HELP line
 	seen := map[string]bool{}    // families with at least one sample
+	lastFam := ""                // family of the previous sample line
 	for ln, line := range strings.Split(payload, "\n") {
 		lineNo := ln + 1
 		if line == "" {
@@ -105,6 +108,10 @@ func ValidatePrometheus(payload string) error {
 				if !validMetricName(fields[2]) {
 					return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
 				}
+				// Metadata must precede the series it describes.
+				if seen[fields[2]] {
+					return fmt.Errorf("line %d: %s for %q after its samples", lineNo, fields[1], fields[2])
+				}
 				if fields[1] == "TYPE" {
 					if len(fields) != 4 {
 						return fmt.Errorf("line %d: TYPE needs exactly a name and a type", lineNo)
@@ -118,6 +125,11 @@ func ValidatePrometheus(payload string) error {
 						return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
 					}
 					typed[fields[2]] = fields[3]
+				} else {
+					if helped[fields[2]] {
+						return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, fields[2])
+					}
+					helped[fields[2]] = true
 				}
 			}
 			continue
@@ -163,7 +175,14 @@ func ValidatePrometheus(payload string) error {
 				return fmt.Errorf("line %d: timestamp %q is not an integer", lineNo, fields[1])
 			}
 		}
-		seen[familyOf(name)] = true
+		// A family's samples must be contiguous: seeing it again after
+		// another family's samples means the family was emitted twice.
+		fam := familyOf(name)
+		if fam != lastFam && seen[fam] {
+			return fmt.Errorf("line %d: duplicate metric family %q (samples not contiguous)", lineNo, fam)
+		}
+		seen[fam] = true
+		lastFam = fam
 	}
 	for fam := range typed {
 		if !seen[fam] {

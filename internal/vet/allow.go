@@ -1,0 +1,94 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //vet:allow comment.
+type allowDirective struct {
+	check  string
+	reason string
+	line   int
+	file   string
+}
+
+// parseAllows extracts every //vet:allow directive from a file, reporting a
+// finding (check id "vet") for directives missing a check id or a reason —
+// an unexplained suppression is itself a violation of the convention.
+func parseAllows(fset *token.FileSet, f *ast.File, report func(pos token.Pos, check, format string, args ...any)) []allowDirective {
+	var out []allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//vet:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 || !knownCheck(fields[0]) {
+				report(c.Pos(), "vet", "malformed //vet:allow: want \"//vet:allow <check-id> <reason>\" with check-id one of %s",
+					strings.Join(AllChecks, "|"))
+				continue
+			}
+			if len(fields) < 2 {
+				report(c.Pos(), "vet", "//vet:allow %s needs a reason", fields[0])
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, allowDirective{
+				check:  fields[0],
+				reason: strings.Join(fields[1:], " "),
+				line:   pos.Line,
+				file:   pos.Filename,
+			})
+		}
+	}
+	return out
+}
+
+func knownCheck(id string) bool {
+	for _, c := range AllChecks {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// applyAllows filters findings through the //vet:allow directives of the
+// analyzed files. A directive suppresses findings of its check on its own
+// line and on the line directly below it (the standalone-comment form).
+func applyAllows(fset *token.FileSet, units []*pkgUnit, findings []Finding) []Finding {
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	allowed := map[key]bool{}
+	var malformed []Finding
+	report := func(pos token.Pos, check, format string, args ...any) {
+		malformed = append(malformed, Finding{
+			Pos:   fset.Position(pos),
+			Check: check,
+			Msg:   fmt.Sprintf(format, args...),
+		})
+	}
+	for _, u := range units {
+		for _, f := range u.files {
+			for _, d := range parseAllows(fset, f, report) {
+				allowed[key{d.file, d.line, d.check}] = true
+				allowed[key{d.file, d.line + 1, d.check}] = true
+			}
+		}
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if allowed[key{f.Pos.Filename, f.Pos.Line, f.Check}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return append(out, malformed...)
+}

@@ -1,0 +1,506 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkLatchOrder enforces the descriptor locking discipline documented in
+// internal/core/descriptor.go:
+//
+//  1. Tier latches of one descriptor are taken in the fixed order
+//     latchD → latchN → latchS. Skipping a tier is fine; reordering is not.
+//  2. mu is a leaf lock: no latch acquisition and no device/vclock/WAL call
+//     may happen while any mu is held.
+//  3. A thread already holding a tier latch may touch a second descriptor's
+//     tier latches only via TryLock — a blocking Lock on a second
+//     descriptor is a lock-cycle waiting to happen.
+//
+// The analysis is intra-function: it simulates the held-latch set over each
+// function body, recognizing both the raw field form (d.latchN.Lock()) and
+// the lockcheck shim methods (d.lockN(), d.tryLockN(), …). It is a static
+// complement to the -tags lockcheck runtime checker, which catches the
+// inter-procedural cases this pass cannot see.
+func checkLatchOrder(p *pass) {
+	for _, f := range p.unit.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &latchWalker{pass: p, held: map[string]map[int]bool{}}
+			w.block(fd.Body.List)
+		}
+	}
+}
+
+// Latch ranks. Lower must be acquired first; mu is the leaf.
+const (
+	rankD  = 1
+	rankN  = 2
+	rankS  = 3
+	rankMu = 4
+)
+
+func rankName(r int) string {
+	switch r {
+	case rankD:
+		return "latchD"
+	case rankN:
+		return "latchN"
+	case rankS:
+		return "latchS"
+	case rankMu:
+		return "mu"
+	}
+	return "?"
+}
+
+// latchOp is one classified latch call site.
+type latchOp struct {
+	base ast.Expr // the descriptor expression
+	rank int
+	kind string // "lock", "try", "unlock"
+}
+
+// latchWalker simulates the held-latch set over one function body.
+// held maps a canonical descriptor expression to the set of ranks held.
+type latchWalker struct {
+	pass *pass
+	held map[string]map[int]bool
+}
+
+func (w *latchWalker) clone() *latchWalker {
+	c := &latchWalker{pass: w.pass, held: map[string]map[int]bool{}}
+	for base, ranks := range w.held {
+		rs := map[int]bool{}
+		for r := range ranks {
+			rs[r] = true
+		}
+		c.held[base] = rs
+	}
+	return c
+}
+
+func (w *latchWalker) block(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		w.stmt(st)
+	}
+}
+
+func (w *latchWalker) stmt(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, ok := w.pass.latchCall(call); ok {
+				w.apply(op, call.Pos())
+				return
+			}
+		}
+		w.scanExpr(s.X)
+	case *ast.IfStmt:
+		w.ifStmt(s)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			// `got := d.latchN.TryLock()` followed by a branch: assume the
+			// success path so inversions on it are still caught.
+			if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+				if op, ok := w.pass.latchCall(call); ok && op.kind == "try" {
+					w.apply(op, call.Pos())
+					continue
+				}
+			}
+			w.scanExpr(r)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the latch held to the end of the linear
+		// walk, which is exactly the model we want. A deferred closure runs
+		// after the function's latches are gone.
+		w.scanFuncLits(s.Call)
+	case *ast.GoStmt:
+		w.scanFuncLits(s.Call)
+		for _, a := range s.Call.Args {
+			w.scanExpr(a)
+		}
+	case *ast.BlockStmt:
+		w.block(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond)
+		}
+		w.clone().block(s.Body.List)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		w.clone().block(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.clone().block(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.clone().block(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.clone().block(cc.Body)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan)
+		w.scanExpr(s.Value)
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X)
+	}
+}
+
+// ifStmt handles the TryLock idioms:
+//
+//	if !d.tryLockN() { return }   // held after the if
+//	if d.tryLockN() { ...body... } // held inside the body only
+func (w *latchWalker) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		w.stmt(s.Init)
+	}
+	cond := ast.Unparen(s.Cond)
+
+	// Negated try: `if !try { ... }`.
+	if un, ok := cond.(*ast.UnaryExpr); ok && un.Op == token.NOT {
+		if call, ok := ast.Unparen(un.X).(*ast.CallExpr); ok {
+			if op, ok := w.pass.latchCall(call); ok && op.kind == "try" {
+				w.clone().block(s.Body.List) // failure path: not held
+				if s.Else != nil {
+					els := w.clone()
+					els.apply(op, call.Pos())
+					els.elseBranch(s.Else)
+				}
+				if terminates(s.Body) {
+					w.apply(op, call.Pos()) // success path continues below
+				}
+				return
+			}
+		}
+	}
+	// Positive try: `if try { ... }`.
+	if call, ok := cond.(*ast.CallExpr); ok {
+		if op, ok := w.pass.latchCall(call); ok && op.kind == "try" {
+			then := w.clone()
+			then.apply(op, call.Pos())
+			then.block(s.Body.List)
+			if s.Else != nil {
+				w.clone().elseBranch(s.Else)
+			}
+			return
+		}
+	}
+
+	w.scanExpr(s.Cond)
+	w.clone().block(s.Body.List)
+	if s.Else != nil {
+		w.clone().elseBranch(s.Else)
+	}
+}
+
+func (w *latchWalker) elseBranch(s ast.Stmt) {
+	switch e := s.(type) {
+	case *ast.BlockStmt:
+		w.block(e.List)
+	case *ast.IfStmt:
+		w.ifStmt(e)
+	}
+}
+
+// scanExpr visits an expression for nested latch calls, I/O-under-mu
+// violations and function literals.
+func (w *latchWalker) scanExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			inner := &latchWalker{pass: w.pass, held: map[string]map[int]bool{}}
+			inner.block(x.Body.List)
+			return false
+		case *ast.CallExpr:
+			if op, ok := w.pass.latchCall(x); ok {
+				w.apply(op, x.Pos())
+				return true
+			}
+			w.ioCheck(x)
+		}
+		return true
+	})
+}
+
+// scanFuncLits visits only the function literals of a call (for go/defer,
+// whose direct call does not execute at this program point).
+func (w *latchWalker) scanFuncLits(call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			inner := &latchWalker{pass: w.pass, held: map[string]map[int]bool{}}
+			inner.block(fl.Body.List)
+			return false
+		}
+		return true
+	})
+}
+
+// apply mutates the held set for one latch operation, reporting violations.
+func (w *latchWalker) apply(op latchOp, pos token.Pos) {
+	base := exprKey(op.base)
+	switch op.kind {
+	case "unlock":
+		if rs := w.held[base]; rs != nil {
+			delete(rs, op.rank)
+			if len(rs) == 0 {
+				delete(w.held, base)
+			}
+		}
+		return
+	}
+
+	// Rule 2 (mu is a leaf): nothing is acquired while any mu is held.
+	for heldBase, rs := range w.held {
+		if rs[rankMu] {
+			w.pass.report(pos, "latchorder",
+				"acquiring %s.%s while %s.mu is held (mu is a leaf lock: acquire nothing under it)",
+				base, rankName(op.rank), heldBase)
+			break
+		}
+	}
+
+	if op.rank == rankMu {
+		if w.held[base] != nil && w.held[base][rankMu] {
+			w.pass.report(pos, "latchorder",
+				"re-acquiring %s.mu already held on this path", base)
+		}
+		w.hold(base, op.rank)
+		return
+	}
+
+	// Rule 1 (tier order on one descriptor): a new tier latch must outrank
+	// every tier latch already held on the same descriptor.
+	if rs := w.held[base]; rs != nil {
+		for r := range rs {
+			if r != rankMu && r >= op.rank {
+				w.pass.report(pos, "latchorder",
+					"acquiring %s.%s while holding %s.%s (tier order is latchD → latchN → latchS)",
+					base, rankName(op.rank), base, rankName(r))
+				break
+			}
+		}
+	}
+
+	// Rule 3 (second descriptor): blocking Lock of a tier latch is illegal
+	// while any other descriptor's tier latch is held.
+	if op.kind == "lock" {
+	outer:
+		for heldBase, rs := range w.held {
+			if heldBase == base {
+				continue
+			}
+			for r := range rs {
+				if r != rankMu {
+					w.pass.report(pos, "latchorder",
+						"blocking Lock of %s.%s while holding %s.%s on another descriptor (use TryLock for second descriptors)",
+						base, rankName(op.rank), heldBase, rankName(r))
+					break outer
+				}
+			}
+		}
+	}
+
+	w.hold(base, op.rank)
+}
+
+func (w *latchWalker) hold(base string, rank int) {
+	if w.held[base] == nil {
+		w.held[base] = map[int]bool{}
+	}
+	w.held[base][rank] = true
+}
+
+// muHeld reports whether any descriptor's mu is in the held set.
+func (w *latchWalker) muHeld() (string, bool) {
+	for base, rs := range w.held {
+		if rs[rankMu] {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// ioCheck flags a call into the device/vclock/WAL surface while mu is held.
+func (w *latchWalker) ioCheck(call *ast.CallExpr) {
+	muBase, ok := w.muHeld()
+	if !ok {
+		return
+	}
+	fn := w.pass.calleeIn(call, w.pass.cfg.IOPackages)
+	if fn == nil {
+		return
+	}
+	w.pass.report(call.Pos(), "latchorder",
+		"call to %s.%s while %s.mu is held (mu is a leaf lock: no device/vclock I/O under it)",
+		pkgShort(fn), fn.Name(), muBase)
+}
+
+// calleeIn resolves a call's static callee when it belongs to one of the
+// given import-path suffixes.
+func (p *pass) calleeIn(call *ast.CallExpr, pkgs []string) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.unit.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.unit.info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !pathMatches(fn.Pkg().Path(), pkgs) {
+		return nil
+	}
+	return fn
+}
+
+// latchShims maps the internal/core shim method names to (rank, kind).
+var latchShims = map[string]latchOp{
+	"lockD":     {rank: rankD, kind: "lock"},
+	"tryLockD":  {rank: rankD, kind: "try"},
+	"unlockD":   {rank: rankD, kind: "unlock"},
+	"lockN":     {rank: rankN, kind: "lock"},
+	"tryLockN":  {rank: rankN, kind: "try"},
+	"unlockN":   {rank: rankN, kind: "unlock"},
+	"lockS":     {rank: rankS, kind: "lock"},
+	"tryLockS":  {rank: rankS, kind: "try"},
+	"unlockS":   {rank: rankS, kind: "unlock"},
+	"lockMu":    {rank: rankMu, kind: "lock"},
+	"tryLockMu": {rank: rankMu, kind: "try"},
+	"unlockMu":  {rank: rankMu, kind: "unlock"},
+}
+
+func latchFieldRank(name string) int {
+	switch name {
+	case "latchD":
+		return rankD
+	case "latchN":
+		return rankN
+	case "latchS":
+		return rankS
+	case "mu":
+		return rankMu
+	}
+	return 0
+}
+
+// latchCall classifies one call expression as a latch operation on a
+// descriptor-shaped value, recognizing the raw field form
+// (d.latchN.Lock() / .TryLock() / .Unlock()) and the shim method form
+// (d.lockN() / d.tryLockN() / d.unlockN()).
+func (p *pass) latchCall(call *ast.CallExpr) (latchOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return latchOp{}, false
+	}
+	name := sel.Sel.Name
+
+	// Raw field form: <base>.<latchField>.<Lock|TryLock|Unlock>().
+	var kind string
+	switch name {
+	case "Lock":
+		kind = "lock"
+	case "TryLock":
+		kind = "try"
+	case "Unlock":
+		kind = "unlock"
+	}
+	if kind != "" {
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return latchOp{}, false
+		}
+		rank := latchFieldRank(inner.Sel.Name)
+		if rank == 0 || !p.isDescriptorType(p.unit.info.Types[inner.X].Type) {
+			return latchOp{}, false
+		}
+		return latchOp{base: inner.X, rank: rank, kind: kind}, true
+	}
+
+	// Shim method form.
+	op, ok := latchShims[name]
+	if !ok || !p.isDescriptorType(p.unit.info.Types[sel.X].Type) {
+		return latchOp{}, false
+	}
+	op.base = sel.X
+	return op, true
+}
+
+// isDescriptorType reports whether t (possibly a pointer) is a struct with
+// at least one tier-latch field (latchD/latchN/latchS of type sync.Mutex) —
+// the structural signature of a page descriptor. Only on such structs do
+// the field names carry locking semantics.
+func (p *pass) isDescriptorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if latchFieldRank(f.Name()) == 0 || f.Name() == "mu" {
+			continue
+		}
+		if isSyncMutex(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	name := named.Obj().Name()
+	return pkg == "sync" && (name == "Mutex" || name == "RWMutex")
+}

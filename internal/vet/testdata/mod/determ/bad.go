@@ -1,0 +1,11 @@
+package determ
+
+import "time"
+
+// A directive with no reason is itself reported and suppresses nothing.
+//vet:allow determinism
+func Missing() time.Time { return time.Now() } // want determinism
+
+// An unknown check id is reported and suppresses nothing.
+//vet:allow nosuchcheck because reasons
+func Unknown() time.Time { return time.Now() } // want determinism

@@ -1,0 +1,20 @@
+// Package determ is a vet fixture: wall-clock and global-RNG use inside a
+// simulated package. The trailing expectation markers on the offending
+// lines are parsed by vet_test.go.
+package determ
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick mixes wall time and the global RNG into "simulation" state.
+func Tick() int64 {
+	start := time.Now() // want determinism
+	n := rand.Intn(10)  // want determinism
+	return start.UnixNano() + int64(n)
+}
+
+// LastWall is exposition-only and may read the host clock.
+//vet:allow determinism exposition-only timestamp, never feeds simulated time
+func LastWall() time.Time { return time.Now() }

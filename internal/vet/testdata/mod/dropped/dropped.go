@@ -1,0 +1,18 @@
+// Package dropped is a vet fixture: every way to discard a devio error.
+package dropped
+
+import "fix/devio"
+
+func Flush(b []byte) {
+	devio.WriteAt(0, b)        // want droppederr
+	n, _ := devio.ReadAt(0, b) // want droppederr
+	_ = n
+	go devio.Sync()    // want droppederr
+	defer devio.Sync() // want droppederr
+
+	// Consumed results are clean.
+	if err := devio.WriteAt(4, b); err != nil {
+		_ = err
+	}
+	_ = devio.Size() // no error in the signature: clean
+}

@@ -1,0 +1,81 @@
+// Package latch is a vet fixture: a descriptor-shaped struct exercised
+// against each rule of the latch discipline.
+package latch
+
+import (
+	"sync"
+
+	"fix/devio"
+)
+
+type descriptor struct {
+	latchD sync.Mutex
+	latchN sync.Mutex
+	latchS sync.Mutex
+	mu     sync.Mutex
+}
+
+// Shims mirroring internal/core's lockcheck routing.
+func (d *descriptor) lockS() { d.latchS.Lock() }
+
+func (d *descriptor) unlockS() { d.latchS.Unlock() }
+
+func (d *descriptor) tryLockN() bool { return d.latchN.TryLock() }
+
+// Inverted acquires tier latches out of order.
+func Inverted(d *descriptor) {
+	d.latchS.Lock()
+	d.latchN.Lock() // want latchorder
+	d.latchN.Unlock()
+	d.latchS.Unlock()
+}
+
+// ShimInverted does the same inversion through the shim methods.
+func ShimInverted(d *descriptor) {
+	d.lockS()
+	if !d.tryLockN() { // want latchorder
+		return
+	}
+	d.latchN.Unlock()
+	d.unlockS()
+}
+
+// UnderMu acquires a latch and performs device I/O under the leaf lock.
+func UnderMu(d *descriptor, b []byte) {
+	d.mu.Lock()
+	d.latchD.Lock()                             // want latchorder
+	if err := devio.WriteAt(0, b); err != nil { // want latchorder
+		_ = err
+	}
+	d.latchD.Unlock()
+	d.mu.Unlock()
+}
+
+// SecondBlocking takes a blocking tier latch on a second descriptor.
+func SecondBlocking(a, b *descriptor) {
+	a.latchD.Lock()
+	b.latchD.Lock() // want latchorder
+	b.latchD.Unlock()
+	a.latchD.Unlock()
+}
+
+// Clean follows the discipline: tiers in order with skips, TryLock for the
+// second descriptor, mu taken strictly as a leaf (nothing under it), and a
+// blocking mu on a second descriptor (legal: mu is a leaf everywhere).
+func Clean(a, b *descriptor, buf []byte) error {
+	a.latchD.Lock()
+	defer a.latchD.Unlock()
+	if err := devio.WriteAt(0, buf); err != nil { // I/O under tier latch is fine
+		return err
+	}
+	a.latchS.Lock() // skipping latchN is fine
+	a.latchS.Unlock()
+	if b.latchN.TryLock() {
+		b.latchN.Unlock()
+	}
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	return nil
+}

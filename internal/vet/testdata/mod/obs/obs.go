@@ -1,0 +1,15 @@
+// Package obs is a vet fixture mirroring the observability layer's shape:
+// a facade type plus a histogram handle, both nil when disabled.
+package obs
+
+type Obs struct{ n int }
+
+func New() *Obs { return &Obs{} }
+
+func (o *Obs) Emit(ev string) { _ = ev; o.n++ }
+
+type Histogram struct{ sum float64 }
+
+func (o *Obs) Hist(name string) *Histogram { _ = name; return &Histogram{} }
+
+func (h *Histogram) Observe(v float64) { h.sum += v }
