@@ -181,6 +181,7 @@ func runTorture(args []string, seed uint64) {
 	ops := fs.Int("ops", 150, "updates per worker per cycle")
 	transient := fs.Float64("transient", 0, "transient fault probability on the NVM data arena")
 	finegrained := fs.Bool("finegrained", false, "torture the fine-grained (per-unit) loading path")
+	shards := fs.Int("shards", 1, "WAL append shards (worker-affine NVM regions with group commit)")
 	degraded := fs.Bool("degraded", false, "also run the permanent-NVM-failure YCSB degradation check")
 	verbose := fs.Bool("v", false, "log per-cycle progress")
 	_ = fs.Parse(args)
@@ -188,7 +189,7 @@ func runTorture(args []string, seed uint64) {
 	opts := harness.TortureOpts{
 		Cycles: *cycles, Workers: *workers, Keys: *keys,
 		OpsPerCycle: *ops, Seed: seed, TransientProb: *transient,
-		FineGrained: *finegrained,
+		FineGrained: *finegrained, Shards: *shards,
 	}
 	if *verbose {
 		opts.Log = func(format string, a ...any) {
@@ -241,7 +242,7 @@ and exits non-zero if any fails.
 
 torture runs the crash-recovery torture harness: randomized workloads killed
 at injected crash points, recovered, and checked for lost or torn writes
-(flags: -cycles -workers -keys -ops -transient -degraded -v).
+(flags: -cycles -workers -keys -ops -transient -shards -degraded -v).
 
 experiments:
 `)

@@ -150,7 +150,8 @@ func newCleaner(bm *BufferManager, tier cleanerTier, pool *basePool, cc CleanerC
 		done: make(chan struct{}),
 	}
 	// Mark the context so write-back admission can apply the cleaner bias
-	// (always admit dirty DRAM pages to NVM, skipping the Nw coin).
+	// (route dirty DRAM pages through the NVM admission queue instead of
+	// the Nw coin, so only pages with repeated eviction pressure land).
 	c.ctx.cleaner = true
 	if bm.obs != nil {
 		label := "cleaner-dram"

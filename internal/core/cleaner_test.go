@@ -298,3 +298,113 @@ func TestCleanerConfigValidate(t *testing.T) {
 	bm.Close()
 	bm.Close() // idempotent
 }
+
+// TestCleanerFeedsAdmissionQueue checks the coin-mode cleaner bias: a
+// cleaner-context write-back consults the NVM admission queue instead of
+// flipping the Nw coin, so its pages land on NVM only after a second
+// eviction within the queue's horizon. With Nw = 1 a foreground eviction
+// would admit every page on the first try — zero first-pass admissions is
+// the proof the queue, not the coin, is deciding.
+func TestCleanerFeedsAdmissionQueue(t *testing.T) {
+	// Nr = 0 keeps the read path off NVM so evicted pages have no NVM copy
+	// to refresh and must face the §3.4 admission decision; Nw = 1 in coin
+	// mode would then admit every foreground eviction unconditionally.
+	bm := newBM(t, Config{
+		DRAMBytes: 2 * PageSize,
+		NVMBytes:  16 * nvmFrameSlot,
+		Policy:    policy.Policy{Dr: 1, Dw: 1, Nr: 0, Nw: 1},
+	})
+	ctx := NewCtx(29)
+	ctx.cleaner = true // evictions below run with the cleaner's bias
+	seed(t, bm, 8)
+
+	dirtyAll := func() {
+		for pid := uint64(0); pid < 8; pid++ {
+			h, err := bm.FetchPage(ctx, pid, WriteIntent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.WriteAt(ctx, 0, []byte{byte(pid)}); err != nil {
+				t.Fatal(err)
+			}
+			h.Release()
+		}
+	}
+	dirtyAll()
+	st := bm.Stats()
+	if st.DRAMToNVM != 0 || st.CleanerAdmittedNVM != 0 {
+		t.Fatalf("first-eviction cleaner admissions = %d (counted %d), want 0 (queue denies)",
+			st.DRAMToNVM, st.CleanerAdmittedNVM)
+	}
+	dirtyAll()
+	st = bm.Stats()
+	if st.CleanerAdmittedNVM == 0 {
+		t.Fatal("second-eviction cleaner admissions = 0, want > 0 (queue admits)")
+	}
+	if st.CleanerAdmittedNVM > st.DRAMToNVM {
+		t.Fatalf("CleanerAdmittedNVM = %d exceeds DRAMToNVM = %d", st.CleanerAdmittedNVM, st.DRAMToNVM)
+	}
+}
+
+// TestForegroundBatchStealSaturated drives a saturated closed loop against a
+// wedged cleaner: with the free list permanently empty, every allocation
+// falls into inline eviction, and successful inline evicts should steal
+// extra frames into the free list (ForegroundBatchCleaned) so the writers
+// queued behind them skip the victim scan. Page contents must survive the
+// churn intact.
+func TestForegroundBatchStealSaturated(t *testing.T) {
+	bm := cleanerBM(t, 16, 0, CleanerConfig{Enable: true, Interval: time.Hour})
+	bm.Close() // wedge the cleaner: all reclamation now happens inline
+	seed(t, bm, 64)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := NewCtx(uint64(w) + 77)
+			for i := 0; i < 300; i++ {
+				pid := uint64((w*131 + i*17) % 64)
+				h, err := bm.FetchPage(ctx, pid, WriteIntent)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], pid)
+				if err := h.WriteAt(ctx, 0, b[:]); err != nil {
+					h.Release()
+					t.Error(err)
+					return
+				}
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := bm.Stats()
+	if st.ForegroundEvicts == 0 {
+		t.Fatal("saturated closed loop never hit inline eviction")
+	}
+	if st.ForegroundBatchCleaned == 0 {
+		t.Fatalf("inline evictions (%d) stole no frames into the free list", st.ForegroundEvicts)
+	}
+
+	// Every page must read back the value its last writer stored.
+	ctx := NewCtx(99)
+	for pid := uint64(0); pid < 64; pid++ {
+		h, err := bm.FetchPage(ctx, pid, ReadIntent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b [8]byte
+		if err := h.ReadAt(ctx, 0, b[:]); err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+		if got := binary.LittleEndian.Uint64(b[:]); got != pid && got != 0 {
+			t.Fatalf("page %d content = %d after churn, want %d or 0 (never written)", pid, got, pid)
+		}
+	}
+}

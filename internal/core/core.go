@@ -92,9 +92,10 @@ type Ctx struct {
 
 	// cleaner marks the context as belonging to a background cleaner
 	// goroutine. Write-back admission treats cleaner evictions specially:
-	// dirty pages it pushes out of DRAM always go to NVM (skipping the Nw
-	// coin), since off the critical path the admission write costs the
-	// foreground nothing and pre-seeds the NVM buffer.
+	// instead of flipping the Nw coin, dirty pages the cleaner pushes out
+	// of DRAM consult the NVM admission queue, so the off-critical-path
+	// write-back pre-seeds NVM with pages showing re-eviction pressure
+	// without letting one cold sweep flood the buffer.
 	cleaner bool
 }
 
@@ -153,9 +154,10 @@ type Config struct {
 	// frames when MiniPages is on. Defaults to 1/8.
 	MiniArenaFraction float64
 
-	// AdmissionQueueCapacity sizes HyMem's NVM admission queue (used when
-	// Policy.NwMode == NwAdmissionQueue). Defaults to half the NVM buffer's
-	// page count, the value §6.5 found to work well.
+	// AdmissionQueueCapacity sizes HyMem's NVM admission queue (every
+	// admission in NwAdmissionQueue mode; cleaner write-backs in coin mode).
+	// Defaults to half the NVM buffer's page count, the value §6.5 found to
+	// work well.
 	AdmissionQueueCapacity int
 
 	// ClockWeight selects the replacement policy's reference weight:
@@ -222,7 +224,7 @@ type BufferManager struct {
 	nvm  *nvmPool  // nil when the NVM tier is disabled
 
 	pol      atomic.Pointer[policy.Policy]
-	admQueue *admission.Queue // nil unless NwMode == NwAdmissionQueue
+	admQueue *admission.Queue // nil only when the NVM tier is disabled
 
 	dramCleaner *cleaner // nil unless the cleaner is enabled
 	nvmCleaner  *cleaner
@@ -314,9 +316,11 @@ func New(cfg Config) (*BufferManager, error) {
 		if cap == 0 {
 			cap = np.nFrames / 2
 		}
-		if cfg.Policy.NwMode == policy.NwAdmissionQueue {
-			bm.admQueue = admission.New(cap)
-		}
+		// Always built when the NVM tier exists: NwAdmissionQueue mode uses
+		// it for every admission, and in coin mode the background cleaner
+		// feeds it so off-critical-path write-backs only admit pages with
+		// demonstrated re-eviction pressure instead of bypassing the Nw coin.
+		bm.admQueue = admission.New(cap)
 	}
 	bm.startCleaners()
 	return bm, nil
@@ -326,10 +330,10 @@ func New(cfg Config) (*BufferManager, error) {
 func (bm *BufferManager) Policy() policy.Policy { return *bm.pol.Load() }
 
 // SetPolicy atomically replaces the migration policy; the adaptive tuner of
-// §4 calls this between epochs. Switching NwMode to the admission queue
-// lazily creates the queue. After the NVM tier has failed permanently the
-// NVM probabilities are forced to zero so no caller can re-route traffic to
-// the dead tier.
+// §4 calls this between epochs. After the NVM tier has failed permanently
+// the NVM probabilities are forced to zero so no caller can re-route traffic
+// to the dead tier. (The admission queue always exists alongside the NVM
+// tier, so switching NwMode needs no setup here.)
 func (bm *BufferManager) SetPolicy(p policy.Policy) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -337,13 +341,6 @@ func (bm *BufferManager) SetPolicy(p policy.Policy) error {
 	if bm.nvmFailed.Load() {
 		p.Nr, p.Nw = 0, 0
 		p.NwMode = policy.NwProbabilistic
-	}
-	if p.NwMode == policy.NwAdmissionQueue && bm.admQueue == nil && bm.nvm != nil {
-		cap := bm.cfg.AdmissionQueueCapacity
-		if cap == 0 {
-			cap = bm.nvm.nFrames / 2
-		}
-		bm.admQueue = admission.New(cap)
 	}
 	bm.pol.Store(&p)
 	return nil

@@ -28,13 +28,23 @@ func TestNVMOnlyRejectsTinyArena(t *testing.T) {
 	}
 }
 
-func TestSetPolicyCreatesAdmissionQueueLazily(t *testing.T) {
+func TestAdmissionQueueBuiltWithNVMTier(t *testing.T) {
+	// The queue exists from construction whenever the NVM tier does: coin
+	// mode needs it for cleaner write-backs, queue mode for every admission.
 	bm := newBM(t, Config{Policy: policy.SpitfireEager})
+	if bm.admQueue == nil {
+		t.Fatal("NVM-backed manager built without an admission queue")
+	}
 	if err := bm.SetPolicy(policy.Hymem); err != nil {
 		t.Fatal(err)
 	}
 	if bm.admQueue == nil {
-		t.Fatal("switching to HyMem mode did not create the admission queue")
+		t.Fatal("admission queue lost across a policy switch")
+	}
+	// No NVM tier → no queue to feed.
+	dramOnly := newBM(t, Config{DRAMBytes: 2 * PageSize, Policy: policy.Policy{Dr: 1, Dw: 1}})
+	if dramOnly.admQueue != nil {
+		t.Fatal("DRAM-only manager built an admission queue")
 	}
 }
 

@@ -75,10 +75,51 @@ func (p *dramPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 		}
 		if ok {
 			bm.stats.fgEvicts.Inc()
+			bm.fgBatchClean(ctx, &p.basePool, bm.evictDRAMFrame)
 			return v, nil
 		}
 	}
 	return noFrame, errPoolExhausted
+}
+
+// fgBatchSteal is how many extra frames an inline eviction pushes onto the
+// free list beyond the one it keeps. Small: the point is amortizing the
+// cache-cold victim scan the foreground thread already paid for, not
+// re-implementing the cleaner inline.
+const fgBatchSteal = 3
+
+// fgBatchClean runs after an inline eviction succeeded — the free list was
+// empty and the cleaner behind, so the allocators right behind this thread
+// would each pay their own victim scan too. Having eaten the scan's cache
+// misses already, steal a few more victims into the free list (mirroring the
+// cleaner's reclaim: evict, then release). Strictly best-effort: contended or
+// pinned victims are skipped, an I/O error stops the assist (the caller's own
+// frame is already secured; a failing device should not be hammered from the
+// allocation path), and the loop quits as soon as the free list has stock.
+func (bm *BufferManager) fgBatchClean(ctx *Ctx, p *basePool, evict func(*Ctx, int32) (bool, error)) {
+	steal := fgBatchSteal
+	if lim := p.nFrames / 4; steal > lim {
+		steal = lim // tiny pools: don't sweep the whole CLOCK at once
+	}
+	stolen := 0
+	for attempts := steal * 2; stolen < steal && attempts > 0 && len(p.free) < steal; attempts-- {
+		v := int32(p.clock.Victim())
+		if !p.meta[v].tryFreeze() {
+			continue
+		}
+		if p.meta[v].pid.Load() != InvalidPageID {
+			ok, err := evict(ctx, v)
+			if err != nil {
+				return // evict thawed the frame; stop assisting the failing tier
+			}
+			if !ok {
+				continue // contended victim, already thawed
+			}
+		}
+		p.release(v)
+		stolen++
+		bm.stats.fgBatchCleaned.Inc()
+	}
 }
 
 // evictDRAMFrame evicts the page occupying frozen frame v, leaving the
@@ -169,7 +210,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 			return false, nil
 		}
 		defer nm.thaw()
-		fg.mu.Lock()
+		fg.lock()
 		frame := p.frame(v)
 		var werr error
 		for u := 0; u < fg.unitsPerPage(); u++ {
@@ -184,7 +225,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 		if werr == nil {
 			fg.clearDirty()
 		}
-		fg.mu.Unlock()
+		fg.unlock()
 		if werr != nil {
 			return false, werr
 		}
@@ -261,17 +302,19 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 	}
 
 	// NVM admission decision (§3.4). HyMem consults its admission queue;
-	// Spitfire flips a Bernoulli(Nw) coin. The background cleaner skips the
-	// coin entirely and always admits: its write-back runs off the critical
-	// path, so admitting costs the foreground nothing and pre-warms NVM.
-	// (With Nw forced to zero — NVM disabled or degraded — the bias is off.)
+	// Spitfire flips a Bernoulli(Nw) coin. The background cleaner does
+	// neither blindly: it feeds the admission queue even in coin mode, so
+	// its off-critical-path write-backs pre-warm NVM with pages that have
+	// shown repeated eviction pressure, while a single cold sweep cannot
+	// flood the buffer the way always-admit did. (With Nw forced to zero —
+	// NVM disabled or degraded — the cleaner bias is off too.)
 	admit := false
 	if nvmOK {
 		pol := bm.pol.Load()
 		if pol.NwMode == policy.NwAdmissionQueue && bm.admQueue != nil {
 			admit = bm.admQueue.Admit(d.pid)
 		} else if ctx.cleaner {
-			admit = pol.Nw > 0
+			admit = pol.Nw > 0 && bm.admQueue != nil && bm.admQueue.Admit(d.pid)
 		} else {
 			admit = ctx.bernoulli(pol.Nw)
 		}
@@ -407,7 +450,7 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) (bool, error) {
 			m.thaw()
 			return false, nil
 		}
-		fg.mu.Lock()
+		fg.lock()
 		data := mp.data(v)
 		var werr error
 		for s := 0; s < fg.slotCount; s++ {
@@ -423,7 +466,7 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) (bool, error) {
 		if werr == nil {
 			fg.clearDirty()
 		}
-		fg.mu.Unlock()
+		fg.unlock()
 		if werr != nil {
 			nm.thaw()
 			d.unlockN()
@@ -487,6 +530,7 @@ func (np *nvmPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
 		}
 		if ok {
 			bm.stats.fgEvicts.Inc()
+			bm.fgBatchClean(ctx, &np.basePool, bm.evictNVMFrame)
 			return v, nil
 		}
 	}

@@ -84,7 +84,7 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 			return false, nil
 		}
 		defer nm.thaw()
-		fg.mu.Lock()
+		fg.lock()
 		data := bm.dram.mini.data(v)
 		var werr error
 		for s := 0; s < fg.slotCount; s++ {
@@ -99,7 +99,7 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 		if werr == nil {
 			fg.clearDirty()
 		}
-		fg.mu.Unlock()
+		fg.unlock()
 		if werr != nil {
 			return false, werr
 		}
@@ -122,7 +122,7 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 		}
 		defer nm.thaw()
 		if fg != nil {
-			fg.mu.Lock()
+			fg.lock()
 			var werr error
 			for u := 0; u < fg.unitsPerPage(); u++ {
 				if fg.isDirty(u) {
@@ -135,7 +135,7 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 			if werr == nil {
 				fg.clearDirty()
 			}
-			fg.mu.Unlock()
+			fg.unlock()
 			if werr != nil {
 				return false, werr
 			}
@@ -162,9 +162,9 @@ func (bm *BufferManager) flushOne(ctx *Ctx, d *descriptor) (bool, error) {
 		return false, err
 	}
 	if fg != nil {
-		fg.mu.Lock()
+		fg.lock()
 		fg.clearDirty()
-		fg.mu.Unlock()
+		fg.unlock()
 	}
 	m.dirty.Store(false)
 	bm.stats.flushedDRAMPages.Inc()

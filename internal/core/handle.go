@@ -218,14 +218,14 @@ func (h *Handle) fgLoadUnits(ctx *Ctx, fg *fgState, first, last, off, n int, for
 func (h *Handle) fgRead(ctx *Ctx, fg *fgState, off int, buf []byte) error {
 	p := h.bm.dram
 	first, last := unitRange(fg.unit, off, len(buf))
-	fg.mu.Lock()
+	fg.lock()
 	if err := h.fgLoadUnits(ctx, fg, first, last, off, len(buf), false); err != nil {
-		fg.mu.Unlock()
+		fg.unlock()
 		return err
 	}
 	p.charge.ChargeRead(ctx.Clock, p.frameOffset(h.frame)+int64(off), len(buf))
 	copy(buf, p.frame(h.frame)[off:off+len(buf)])
-	fg.mu.Unlock()
+	fg.unlock()
 	return nil
 }
 
@@ -235,9 +235,9 @@ func (h *Handle) fgRead(ctx *Ctx, fg *fgState, off int, buf []byte) error {
 func (h *Handle) fgWrite(ctx *Ctx, fg *fgState, off int, data []byte) error {
 	p := h.bm.dram
 	first, last := unitRange(fg.unit, off, len(data))
-	fg.mu.Lock()
+	fg.lock()
 	if err := h.fgLoadUnits(ctx, fg, first, last, off, len(data), true); err != nil {
-		fg.mu.Unlock()
+		fg.unlock()
 		return err
 	}
 	p.charge.ChargeWrite(ctx.Clock, p.frameOffset(h.frame)+int64(off), len(data))
@@ -245,7 +245,7 @@ func (h *Handle) fgWrite(ctx *Ctx, fg *fgState, off int, data []byte) error {
 	for u := first; u <= last; u++ {
 		fg.setDirty(u)
 	}
-	fg.mu.Unlock()
+	fg.unlock()
 	p.meta[h.frame].dirty.Store(true)
 	return nil
 }
@@ -266,7 +266,7 @@ func (h *Handle) miniAccess(ctx *Ctx, off int, buf, data []byte) error {
 	n := len(buf) + len(data) // exactly one of buf/data is non-nil
 	first, last := unitRange(fg.unit, off, n)
 
-	fg.mu.Lock()
+	fg.lock()
 	// Give every touched unit a slot while capacity lasts.
 	overflow := false
 	for u := first; u <= last; u++ {
@@ -279,7 +279,7 @@ func (h *Handle) miniAccess(ctx *Ctx, off int, buf, data []byte) error {
 		}
 		nf := h.nvmBacking()
 		if nf == noFrame {
-			fg.mu.Unlock()
+			fg.unlock()
 			return fmt.Errorf("core: page %d: mini page lost its NVM backing", h.d.pid)
 		}
 		s := fg.slotCount
@@ -288,14 +288,14 @@ func (h *Handle) miniAccess(ctx *Ctx, off int, buf, data []byte) error {
 		dst := mp.data(h.frame)[s*fg.unit : (s+1)*fg.unit]
 		if err := h.bm.nvmReadPayload(ctx.Clock, nf, u*fg.unit, dst); err != nil {
 			fg.slotCount-- // roll the half-filled slot back
-			fg.mu.Unlock()
+			fg.unlock()
 			return fmt.Errorf("core: page %d: %w", h.d.pid, err)
 		}
 		h.bm.dram.charge.ChargeWrite(ctx.Clock, int64(int(h.frame)*mp.slotSize+s*fg.unit), fg.unit)
 		h.bm.stats.fgUnitLoads.Inc()
 	}
 	if overflow {
-		fg.mu.Unlock()
+		fg.unlock()
 		if h.promoteMini(ctx) {
 			// Re-dispatch on the upgraded (full-frame) handle.
 			if buf != nil {
@@ -303,7 +303,7 @@ func (h *Handle) miniAccess(ctx *Ctx, off int, buf, data []byte) error {
 			}
 			return h.WriteAt(ctx, off, data)
 		}
-		fg.mu.Lock() // promotion contended; serve mixed below
+		fg.lock() // promotion contended; serve mixed below
 	}
 
 	// Serve the access unit by unit: slotted units from the mini frame,
@@ -317,17 +317,17 @@ func (h *Handle) miniAccess(ctx *Ctx, off int, buf, data []byte) error {
 		if s == noSlot {
 			nf := h.nvmBacking()
 			if nf == noFrame {
-				fg.mu.Unlock()
+				fg.unlock()
 				return fmt.Errorf("core: page %d: mini page lost its NVM backing", h.d.pid)
 			}
 			if buf != nil {
 				if err := h.bm.nvmReadPayload(ctx.Clock, nf, lo, buf[lo-off:hi-off]); err != nil {
-					fg.mu.Unlock()
+					fg.unlock()
 					return fmt.Errorf("core: page %d: %w", h.d.pid, err)
 				}
 			} else {
 				if err := h.bm.nvmWritePayload(ctx.Clock, nf, lo, data[lo-off:hi-off]); err != nil {
-					fg.mu.Unlock()
+					fg.unlock()
 					return fmt.Errorf("core: page %d: %w", h.d.pid, err)
 				}
 				h.bm.nvm.meta[nf].dirty.Store(true)
@@ -345,7 +345,7 @@ func (h *Handle) miniAccess(ctx *Ctx, off int, buf, data []byte) error {
 			dirtied = true
 		}
 	}
-	fg.mu.Unlock()
+	fg.unlock()
 	if dirtied {
 		mp.meta[h.frame].dirty.Store(true)
 	}
@@ -381,7 +381,7 @@ func (h *Handle) promoteMini(ctx *Ctx) bool {
 
 	newFG := newFullFG(fg.unit)
 	full := h.bm.dram.frame(f)
-	fg.mu.Lock()
+	fg.lock()
 	src := mp.data(h.frame)
 	for s := 0; s < fg.slotCount; s++ {
 		u := int(fg.slots[s])
@@ -393,7 +393,7 @@ func (h *Handle) promoteMini(ctx *Ctx) bool {
 		}
 	}
 	h.bm.dram.charge.ChargeWrite(ctx.Clock, h.bm.dram.frameOffset(f), fg.slotCount*fg.unit)
-	fg.mu.Unlock()
+	fg.unlock()
 
 	dirty := m.dirty.Load()
 	h.bm.dram.meta[f].pid.Store(h.d.pid)

@@ -57,6 +57,20 @@ func (d *descriptor) unlockN() {
 	lockcheck.Release(d, lockcheck.RankN)
 }
 
+// lock acquires a frame group's mutex. fg.mu guards the residency/dirty
+// bitmaps and mini-page slot directory; the only latch that may be taken
+// while it is held is descriptor.mu (the fine-grained load path pins the
+// NVM backing under fg.mu, safe because mu is a strict leaf).
+func (fg *fgState) lock() {
+	lockcheck.Acquire(fg, lockcheck.RankFg)
+	fg.mu.Lock()
+}
+
+func (fg *fgState) unlock() {
+	fg.mu.Unlock()
+	lockcheck.Release(fg, lockcheck.RankFg)
+}
+
 func (d *descriptor) lockS() {
 	lockcheck.Acquire(d, lockcheck.RankS)
 	d.latchS.Lock()

@@ -19,6 +19,7 @@ type bmStats struct {
 	cleanerCleanedNVM  metrics.Counter
 	cleanerStalls      metrics.Counter
 	fgEvicts           metrics.Counter
+	fgBatchCleaned     metrics.Counter
 
 	// Fault handling (DESIGN.md §5-ter).
 	ioRetries             metrics.Counter
@@ -52,12 +53,16 @@ type Stats struct {
 	// allocations that had to evict inline (the fallback path — with the
 	// cleaner keeping up this stays near zero); CleanerStalls counts
 	// replenish passes that made no progress because every victim was
-	// pinned or under migration.
-	CleanerBatches     int64
-	CleanerCleanedDRAM int64
-	CleanerCleanedNVM  int64
-	CleanerStalls      int64
-	ForegroundEvicts   int64
+	// pinned or under migration. ForegroundBatchCleaned counts the extra
+	// frames an inline eviction stole into the free list beyond its own —
+	// the foreground assist that amortizes one victim scan across the
+	// allocators queued behind it when the cleaner is behind.
+	CleanerBatches         int64
+	CleanerCleanedDRAM     int64
+	CleanerCleanedNVM      int64
+	CleanerStalls          int64
+	ForegroundEvicts       int64
+	ForegroundBatchCleaned int64
 
 	// Fault handling (DESIGN.md §5-ter). IORetries counts individual retried
 	// device operations, IOGiveUps operations abandoned after the retry
@@ -71,10 +76,12 @@ type Stats struct {
 	NVMOrphanedPages int64
 
 	// Cleaner admission bias: CleanerAdmittedNVM counts NVM installs made by
-	// the background cleaner's always-admit rule; HitNVMCleanerAdmitted is
-	// the subset of HitNVM served from such frames. Comparing the two hit
-	// rates (HitNVMCleanerAdmitted/CleanerAdmittedNVM vs HitNVM/SSDToNVM+
-	// DRAMToNVM) shows whether bypassing the Nw coin admits useful pages.
+	// the background cleaner, which feeds the NVM admission queue instead of
+	// flipping the Nw coin; HitNVMCleanerAdmitted is the subset of HitNVM
+	// served from such frames. Comparing the two hit rates
+	// (HitNVMCleanerAdmitted/CleanerAdmittedNVM vs HitNVM/SSDToNVM+
+	// DRAMToNVM) shows whether queue-gated cleaner admission picks useful
+	// pages.
 	CleanerAdmittedNVM    int64
 	HitNVMCleanerAdmitted int64
 }
@@ -101,6 +108,8 @@ func (bm *BufferManager) Stats() Stats {
 		CleanerStalls:      s.cleanerStalls.Load(),
 		ForegroundEvicts:   s.fgEvicts.Load(),
 
+		ForegroundBatchCleaned: s.fgBatchCleaned.Load(),
+
 		IORetries:             s.ioRetries.Load(),
 		IOGiveUps:             s.ioGiveUps.Load(),
 		NVMDegraded:           s.nvmDegraded.Load(),
@@ -121,7 +130,7 @@ func (bm *BufferManager) ResetStats() {
 		&s.fgUnitLoads, &s.miniPromotions,
 		&s.flushedDRAMPages, &s.flushedNVMPages, &s.recoveredNVMPages,
 		&s.cleanerBatches, &s.cleanerCleanedDRAM, &s.cleanerCleanedNVM,
-		&s.cleanerStalls, &s.fgEvicts,
+		&s.cleanerStalls, &s.fgEvicts, &s.fgBatchCleaned,
 		&s.ioRetries, &s.ioGiveUps,
 		&s.nvmOrphanedPages,
 		&s.cleanerAdmittedNVM, &s.hitNVMCleanerAdmitted,

@@ -18,7 +18,6 @@ package device
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"github.com/spitfire-db/spitfire/internal/metrics"
@@ -87,8 +86,7 @@ var (
 type Device struct {
 	p Params
 
-	mu      sync.Mutex
-	horizon int64 // virtual time at which the device next becomes free
+	horizon atomic.Int64 // virtual time at which the device next becomes free
 
 	readOps      atomic.Int64
 	writeOps     atomic.Int64
@@ -126,17 +124,22 @@ func (d *Device) roundUp(n int) int64 {
 // occupy reserves the device for busy nanoseconds starting no earlier than
 // the worker's current virtual time, and returns the completion time of the
 // transfer. This is a conservative single-queue model: requests are serviced
-// in the order workers issue them.
+// in the order workers issue them. The horizon advances by lock-free CAS —
+// a mutex here would put one lock hand-off per simulated transfer on every
+// worker's commit path, serializing the real machine where only the modeled
+// device should serialize.
 func (d *Device) occupy(now, busy int64) int64 {
-	d.mu.Lock()
-	start := d.horizon
-	if now > start {
-		start = now
+	for {
+		h := d.horizon.Load()
+		start := h
+		if now > start {
+			start = now
+		}
+		end := start + busy
+		if d.horizon.CompareAndSwap(h, end) {
+			return end
+		}
 	}
-	end := start + busy
-	d.horizon = end
-	d.mu.Unlock()
-	return end
 }
 
 // Read charges a read of n bytes to the worker's clock and returns the

@@ -89,8 +89,11 @@ type EnvConfig struct {
 	// WAL and checkpointing. WALBuffer defaults to 1 MB; CheckpointEvery
 	// flushes dirty DRAM pages after that many commits (default 20000,
 	// negative disables). DisableWAL turns logging off entirely (pure
-	// buffer-manager experiments).
+	// buffer-manager experiments). WALShards splits the NVM log buffer into
+	// worker-affine append shards with group commit (default 1, the
+	// single-buffer layout, so paper-shape experiments stay deterministic).
 	WALBuffer       int64
+	WALShards       int
 	CheckpointEvery int64
 	DisableWAL      bool
 
@@ -196,7 +199,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 
 	var w *wal.Manager
 	if !cfg.DisableWAL {
-		walOpts := wal.Options{Store: wal.NewMemLog(e.ssdDev), Obs: cfg.Obs}
+		walOpts := wal.Options{Store: wal.NewMemLog(e.ssdDev), Obs: cfg.Obs, Shards: cfg.WALShards}
 		if cfg.NVMBytes > 0 {
 			// NVM-equipped hierarchies keep the log buffer on NVM: a
 			// persisted append *is* the commit (§5.2).
@@ -293,14 +296,23 @@ type PointResult struct {
 
 // Run executes opsPerWorker transactions on each of `workers` goroutines
 // and measures virtual-time throughput. Call Warmup first for steady-state
-// numbers.
+// numbers. The run is marked as the "measure" phase on the obs layer, so
+// /snapshot.json can report its histogram window separately from warmup.
 func (e *Env) Run(workers, opsPerWorker int, seed uint64) (PointResult, error) {
+	if o := e.cfg.Obs; o != nil {
+		o.BeginPhase("measure")
+		defer o.EndPhase()
+	}
 	return e.run(workers, opsPerWorker, seed, true)
 }
 
 // Warmup drives the workload without measuring (the paper warms until the
-// buffer pool is full).
+// buffer pool is full), marked as the "warmup" phase on the obs layer.
 func (e *Env) Warmup(workers, opsPerWorker int, seed uint64) error {
+	if o := e.cfg.Obs; o != nil {
+		o.BeginPhase("warmup")
+		defer o.EndPhase()
+	}
 	_, err := e.run(workers, opsPerWorker, seed^0xFACE, false)
 	return err
 }

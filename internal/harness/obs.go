@@ -78,6 +78,7 @@ func (e *Env) ObsCounters() []obs.Sample {
 		{Name: "cleaner_cleaned_nvm", Value: s.CleanerCleanedNVM},
 		{Name: "cleaner_stalls", Value: s.CleanerStalls},
 		{Name: "foreground_evicts", Value: s.ForegroundEvicts},
+		{Name: "foreground_batch_cleaned", Value: s.ForegroundBatchCleaned},
 		{Name: "io_retries", Value: s.IORetries},
 		{Name: "io_give_ups", Value: s.IOGiveUps},
 		{Name: "commits", Value: e.commits.Load()},

@@ -55,6 +55,10 @@ type TortureOpts struct {
 	// crashes and transient faults land mid-unit-fill instead of on
 	// whole-page copies.
 	FineGrained bool
+	// Shards splits the WAL's NVM buffer into this many worker-affine
+	// append regions (default 1: the single-buffer layout), so crashes land
+	// between concurrent shard appends and combined group-commit flushes.
+	Shards int
 	// Log, if non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -222,7 +226,7 @@ func (t *torture) boot() error {
 	if err != nil {
 		return err
 	}
-	w, err := wal.New(wal.Options{Buffer: t.walPM, Store: t.logFile})
+	w, err := wal.New(wal.Options{Buffer: t.walPM, Store: t.logFile, Shards: t.opts.Shards})
 	if err != nil {
 		return err
 	}
@@ -350,7 +354,7 @@ func (t *torture) cycle(c int) error {
 	rctx := engine.NewRecoveryCtx()
 	db, rl, err := engine.Recover(rctx, engine.RecoverOptions{
 		BM:     bm,
-		WAL:    wal.Options{Buffer: t.walPM, Store: t.logFile},
+		WAL:    wal.Options{Buffer: t.walPM, Store: t.logFile, Shards: t.opts.Shards},
 		Schema: []engine.TableDef{{ID: tortureTableID, Name: "torture", TupleSize: tortureTupleSize}},
 	})
 	if err != nil {

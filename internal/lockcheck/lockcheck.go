@@ -19,6 +19,14 @@
 //  3. Blocking acquisition (Acquire) of a tier latch is illegal while a
 //     tier latch of a different descriptor is held; TryLock acquisitions
 //     (Acquired) of second descriptors are the sanctioned escape hatch.
+//  4. RankFg (a frame group's fg.mu) may be taken under tier latches; the
+//     only acquisition allowed while it is held is RankMu (the fine-grained
+//     load path pins the NVM backing descriptor under fg.mu).
+//  5. RankWALShard (a WAL shard's append mutex) is a leaf on the append
+//     path. The one exception is the combining flusher, which drains every
+//     shard while holding RankWALFlush: shard→shard acquisitions are legal
+//     only under flushMu (where the flusher takes them in index order).
+//  6. Under RankWALFlush only RankWALShard may be acquired.
 package lockcheck
 
 import (
@@ -29,12 +37,17 @@ import (
 	"sync"
 )
 
-// Latch ranks, low acquired first. RankMu is the leaf.
+// Latch ranks, low acquired first. RankMu is a strict leaf; RankFg admits
+// only RankMu under it; the WAL ranks form their own two-level order
+// (flushMu → shard mu).
 const (
-	RankD  = 1
-	RankN  = 2
-	RankS  = 3
-	RankMu = 4
+	RankD        = 1
+	RankN        = 2
+	RankS        = 3
+	RankMu       = 4
+	RankFg       = 5
+	RankWALShard = 6
+	RankWALFlush = 7
 )
 
 // Enabled reports whether the checker is compiled in.
@@ -50,6 +63,12 @@ func rankName(r int) string {
 		return "latchS"
 	case RankMu:
 		return "mu"
+	case RankFg:
+		return "fg.mu"
+	case RankWALShard:
+		return "wal.shard"
+	case RankWALFlush:
+		return "wal.flushMu"
 	}
 	return "rank?"
 }
@@ -132,18 +151,43 @@ func check(obj any, rank int, blocking bool) {
 	s := shardFor(g)
 	defer s.mu.Unlock()
 	stack := s.byGoro[g]
+	flushHeld := false
+	for i := range stack {
+		if stack[i].rank == RankWALFlush {
+			flushHeld = true
+		}
+	}
 	for i := range stack {
 		h := &stack[i]
 		switch {
 		case h.rank == RankMu:
 			fail(h, "lockcheck: acquiring %s(%p) while mu(%p) is held — mu is a leaf lock, acquire nothing under it",
 				rankName(rank), obj, h.obj)
+		case h.rank == RankFg && rank == RankMu:
+			// descriptor.mu under fg.mu: the fine-grained load path pins the
+			// NVM backing (nvmBacking → mu) while holding the frame-group
+			// lock. Legal because mu is a strict leaf — nothing is ever
+			// acquired under it, so fg.mu → mu cannot cycle.
+		case h.rank == RankFg:
+			fail(h, "lockcheck: acquiring %s(%p) while fg.mu(%p) is held — only descriptor.mu may be taken under a frame-group lock",
+				rankName(rank), obj, h.obj)
+		case h.rank == RankWALShard && rank == RankWALShard && flushHeld:
+			// The combining flusher drains every shard in index order while
+			// holding flushMu; shard→shard is legal only in that context.
+		case h.rank == RankWALShard:
+			fail(h, "lockcheck: acquiring %s(%p) while wal.shard(%p) is held — a shard mutex is a leaf on the append path",
+				rankName(rank), obj, h.obj)
+		case h.rank == RankWALFlush && rank != RankWALShard:
+			fail(h, "lockcheck: acquiring %s(%p) while wal.flushMu(%p) is held — only shard mutexes may be taken under flushMu",
+				rankName(rank), obj, h.obj)
+		case h.rank == RankWALFlush:
+			// Shard mutex under flushMu: the combining flusher's order.
 		case h.obj == obj && rank == RankMu:
 			// mu under the same descriptor's tier latches: legal leaf use.
 		case h.obj == obj && h.rank >= rank:
 			fail(h, "lockcheck: acquiring %s(%p) while holding %s of the same descriptor — tier order is latchD → latchN → latchS",
 				rankName(rank), obj, rankName(h.rank))
-		case h.obj != obj && blocking && rank != RankMu:
+		case h.obj != obj && blocking && rank <= RankS && h.rank <= RankS:
 			fail(h, "lockcheck: blocking Lock of %s(%p) while holding %s(%p) of another descriptor — second descriptors only via TryLock",
 				rankName(rank), obj, rankName(h.rank), h.obj)
 		}

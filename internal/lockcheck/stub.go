@@ -6,10 +6,13 @@ package lockcheck
 
 // Latch ranks, mirrored from the checked build.
 const (
-	RankD  = 1
-	RankN  = 2
-	RankS  = 3
-	RankMu = 4
+	RankD        = 1
+	RankN        = 2
+	RankS        = 3
+	RankMu       = 4
+	RankFg       = 5
+	RankWALShard = 6
+	RankWALFlush = 7
 )
 
 // Enabled reports whether the checker is compiled in.

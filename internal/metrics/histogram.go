@@ -92,6 +92,80 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return h.max.Load()
 }
 
+// HistSnapshot is a point-in-time copy of a histogram's state. Snapshots
+// subtract, so callers can compute per-phase distributions (warmup vs
+// measure) from one cumulative histogram.
+type HistSnapshot struct {
+	Buckets [64]int64
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe calls
+// may land between field reads; the skew is at most the handful of
+// observations racing the copy.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Sub returns the observations recorded between base and s. Max cannot be
+// windowed (the histogram keeps only a cumulative maximum), so the result
+// carries s.Max — the max as of the later snapshot.
+func (s HistSnapshot) Sub(base HistSnapshot) HistSnapshot {
+	out := s
+	for i := range out.Buckets {
+		out.Buckets[i] -= base.Buckets[i]
+	}
+	out.Count -= base.Count
+	out.Sum -= base.Sum
+	return out
+}
+
+// Mean returns the snapshot's average observation, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Percentile mirrors Histogram.Percentile over the snapshot's buckets.
+func (s HistSnapshot) Percentile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range s.Buckets {
+		seen += s.Buckets[i]
+		if seen >= rank {
+			top := int64(1)<<uint(i+1) - 1
+			if top > s.Max {
+				top = s.Max
+			}
+			return top
+		}
+	}
+	return s.Max
+}
+
 // Reset zeroes the histogram.
 func (h *Histogram) Reset() {
 	for i := range h.buckets {

@@ -158,6 +158,48 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 				h.Name(), hist.Count(), hist.Mean(),
 				hist.Percentile(50), hist.Percentile(90), hist.Percentile(99), hist.Max())
 		}
+		for _, nh := range s.obs.NamedHists() {
+			fmt.Fprintf(bw,
+				",\n    %q: {\"count\": %d, \"mean_ns\": %.0f, \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \"max_ns\": %d}",
+				nh.Name, nh.H.Count(), nh.H.Mean(),
+				nh.H.Percentile(50), nh.H.Percentile(90), nh.H.Percentile(99), nh.H.Max())
+		}
+	}
+	bw.WriteString("\n  },\n")
+
+	// Per-phase histogram windows (warmup vs measure): the observations each
+	// experiment phase recorded, rather than the cumulative totals above.
+	// max_ns is cumulative as of the phase's end — the lock-free histograms
+	// keep no windowed maximum.
+	bw.WriteString("  \"phase_histograms\": {")
+	if s.obs != nil {
+		for pi, ph := range s.obs.PhaseSnapshots() {
+			if pi > 0 {
+				bw.WriteString(",")
+			}
+			fmt.Fprintf(bw, "\n    %q: {", ph.Name)
+			names := make([]string, 0, len(ph.Hists))
+			for name := range ph.Hists {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			first := true
+			for _, name := range names {
+				hs := ph.Hists[name]
+				if hs.Count == 0 {
+					continue
+				}
+				if !first {
+					bw.WriteString(",")
+				}
+				first = false
+				fmt.Fprintf(bw,
+					"\n      %q: {\"count\": %d, \"mean_ns\": %.0f, \"p50_ns\": %d, \"p90_ns\": %d, \"p99_ns\": %d, \"max_ns\": %d}",
+					name, hs.Count, hs.Mean(),
+					hs.Percentile(50), hs.Percentile(90), hs.Percentile(99), hs.Max)
+			}
+			bw.WriteString("\n    }")
+		}
 	}
 	bw.WriteString("\n  }\n}\n")
 	bw.Flush()

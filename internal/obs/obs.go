@@ -98,6 +98,19 @@ type Obs struct {
 	rings  []*Ring
 	capped int // workers refused a ring by MaxRings
 
+	// Auxiliary histograms created on demand by name (per-WAL-shard
+	// latencies and the like); exposed after the fixed registry so the
+	// default exposition is unchanged when nothing registers one.
+	namedMu sync.Mutex
+	named   map[string]*metrics.Histogram
+
+	// Experiment-phase tracking (warmup vs measure): baselines taken at
+	// BeginPhase, per-phase deltas computed at EndPhase.
+	phaseMu   sync.Mutex
+	phaseName string
+	phaseBase map[string]metrics.HistSnapshot
+	phases    []PhaseSnapshot
+
 	source atomic.Pointer[sourceBox]
 }
 
@@ -132,6 +145,47 @@ func (o *Obs) Hist(h Hist) *metrics.Histogram {
 		return nil
 	}
 	return o.hists[h]
+}
+
+// NamedHistogram pairs an on-demand histogram with its exposition name.
+type NamedHistogram struct {
+	Name string
+	H    *metrics.Histogram
+}
+
+// NamedHist returns the auxiliary histogram registered under name, creating
+// it on first use. Returns nil (a valid no-op observer is not available for
+// histograms, so callers nil-check) when o is nil.
+func (o *Obs) NamedHist(name string) *metrics.Histogram {
+	if o == nil {
+		return nil
+	}
+	o.namedMu.Lock()
+	defer o.namedMu.Unlock()
+	if o.named == nil {
+		o.named = map[string]*metrics.Histogram{}
+	}
+	h := o.named[name]
+	if h == nil {
+		h = metrics.NewHistogram()
+		o.named[name] = h
+	}
+	return h
+}
+
+// NamedHists returns a name-sorted copy of the auxiliary histogram registry.
+func (o *Obs) NamedHists() []NamedHistogram {
+	if o == nil {
+		return nil
+	}
+	o.namedMu.Lock()
+	defer o.namedMu.Unlock()
+	out := make([]NamedHistogram, 0, len(o.named))
+	for name, h := range o.named {
+		out = append(out, NamedHistogram{Name: name, H: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // NewRing allocates (and registers) a tracer ring for one worker. Returns

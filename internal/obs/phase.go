@@ -1,0 +1,91 @@
+package obs
+
+import "github.com/spitfire-db/spitfire/internal/metrics"
+
+// PhaseSnapshot is the per-phase view of every latency histogram: the
+// observations recorded between BeginPhase and EndPhase, keyed by the
+// histogram's exposition name. Max carries the cumulative maximum as of the
+// phase's end (the lock-free histograms keep no windowed maximum).
+type PhaseSnapshot struct {
+	Name  string
+	Hists map[string]metrics.HistSnapshot
+}
+
+// snapshotAll copies every histogram — the fixed registry plus the named
+// ones — keyed by exposition name.
+func (o *Obs) snapshotAll() map[string]metrics.HistSnapshot {
+	out := make(map[string]metrics.HistSnapshot, int(NumHists))
+	for h := Hist(0); h < NumHists; h++ {
+		out[h.Name()] = o.hists[h].Snapshot()
+	}
+	for _, nh := range o.NamedHists() {
+		out[nh.Name] = nh.H.Snapshot()
+	}
+	return out
+}
+
+// BeginPhase marks the start of a named experiment phase (e.g. "warmup",
+// "measure"). If a phase is already open it is closed first, so sequential
+// phases need only BeginPhase calls. Safe on a nil receiver.
+func (o *Obs) BeginPhase(name string) {
+	if o == nil {
+		return
+	}
+	o.phaseMu.Lock()
+	defer o.phaseMu.Unlock()
+	o.endPhaseLocked()
+	o.phaseName = name
+	o.phaseBase = o.snapshotAll()
+}
+
+// EndPhase closes the open phase, recording the delta of every histogram
+// against the phase's baseline. A no-op when no phase is open or o is nil.
+func (o *Obs) EndPhase() {
+	if o == nil {
+		return
+	}
+	o.phaseMu.Lock()
+	defer o.phaseMu.Unlock()
+	o.endPhaseLocked()
+}
+
+func (o *Obs) endPhaseLocked() {
+	if o.phaseName == "" {
+		return
+	}
+	o.phases = append(o.phases, PhaseSnapshot{
+		Name:  o.phaseName,
+		Hists: o.phaseDeltaLocked(),
+	})
+	o.phaseName = ""
+	o.phaseBase = nil
+}
+
+// phaseDeltaLocked computes the open phase's histogram deltas. Histograms
+// registered after BeginPhase (an empty baseline) contribute their full
+// contents. Caller holds phaseMu.
+func (o *Obs) phaseDeltaLocked() map[string]metrics.HistSnapshot {
+	cur := o.snapshotAll()
+	out := make(map[string]metrics.HistSnapshot, len(cur))
+	for name, s := range cur {
+		out[name] = s.Sub(o.phaseBase[name])
+	}
+	return out
+}
+
+// PhaseSnapshots returns every completed phase, oldest first, plus — when a
+// phase is open — that phase's live delta as the final element. The result
+// is a deep-enough copy: callers may hold it across further observations.
+func (o *Obs) PhaseSnapshots() []PhaseSnapshot {
+	if o == nil {
+		return nil
+	}
+	o.phaseMu.Lock()
+	defer o.phaseMu.Unlock()
+	out := make([]PhaseSnapshot, len(o.phases), len(o.phases)+1)
+	copy(out, o.phases)
+	if o.phaseName != "" {
+		out = append(out, PhaseSnapshot{Name: o.phaseName, Hists: o.phaseDeltaLocked()})
+	}
+	return out
+}

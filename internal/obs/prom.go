@@ -71,6 +71,9 @@ func (o *Obs) WritePrometheus(w io.Writer) error {
 		for h := Hist(0); h < NumHists; h++ {
 			writeHistogram(bw, h.Name(), o.hists[h])
 		}
+		for _, nh := range o.NamedHists() {
+			writeHistogram(bw, promName(nh.Name), nh.H)
+		}
 		alloc, capped := o.RingCount()
 		fmt.Fprintf(bw, "# HELP spitfire_obs_rings Allocated tracer rings.\n")
 		fmt.Fprintf(bw, "# TYPE spitfire_obs_rings gauge\n")

@@ -24,6 +24,7 @@ const (
 	EvWALFlush
 	EvPolicyStep
 	EvRetry
+	EvWALGroupCommit
 )
 
 // String names the event type (used in JSONL and Chrome trace output).
@@ -47,6 +48,8 @@ func (t EventType) String() string {
 		return "policy-step"
 	case EvRetry:
 		return "retry"
+	case EvWALGroupCommit:
+		return "wal-group-commit"
 	}
 	return fmt.Sprintf("event(%d)", uint8(t))
 }

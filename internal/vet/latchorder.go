@@ -16,12 +16,21 @@ import (
 //  3. A thread already holding a tier latch may touch a second descriptor's
 //     tier latches only via TryLock — a blocking Lock on a second
 //     descriptor is a lock-cycle waiting to happen.
+//  4. A frame group's fg.mu may be taken under tier latches, but the only
+//     acquisition allowed while it is held is descriptor.mu (the
+//     fine-grained load path pins the NVM backing under fg.mu; legal
+//     because mu is a strict leaf).
+//  5. A WAL shard's append mutex is a leaf on the append path; shard→shard
+//     acquisitions are legal only while the WAL's flushMu is held (the
+//     combining flusher draining shards in index order).
+//  6. Under flushMu only shard mutexes may be acquired.
 //
 // The analysis is intra-function: it simulates the held-latch set over each
-// function body, recognizing both the raw field form (d.latchN.Lock()) and
-// the lockcheck shim methods (d.lockN(), d.tryLockN(), …). It is a static
-// complement to the -tags lockcheck runtime checker, which catches the
-// inter-procedural cases this pass cannot see.
+// function body, recognizing both the raw field forms (d.latchN.Lock(),
+// fg.mu.Lock(), sh.mu.Lock(), m.flushMu.Lock()) and the lockcheck shim
+// methods (d.lockN(), fg.lock(), m.lockShard(sh), m.tryLockFlush(), …). It
+// is a static complement to the -tags lockcheck runtime checker, which
+// catches the inter-procedural cases this pass cannot see.
 func checkLatchOrder(p *pass) {
 	for _, f := range p.unit.files {
 		for _, decl := range f.Decls {
@@ -35,12 +44,17 @@ func checkLatchOrder(p *pass) {
 	}
 }
 
-// Latch ranks. Lower must be acquired first; mu is the leaf.
+// Latch ranks, mirroring internal/lockcheck. Lower must be acquired first
+// among the tier latches; mu is a strict leaf; fg admits only mu under it;
+// the WAL ranks form their own two-level order (flushMu → shard mu).
 const (
-	rankD  = 1
-	rankN  = 2
-	rankS  = 3
-	rankMu = 4
+	rankD        = 1
+	rankN        = 2
+	rankS        = 3
+	rankMu       = 4
+	rankFg       = 5
+	rankWALShard = 6
+	rankWALFlush = 7
 )
 
 func rankName(r int) string {
@@ -53,6 +67,12 @@ func rankName(r int) string {
 		return "latchS"
 	case rankMu:
 		return "mu"
+	case rankFg:
+		return "fg.mu"
+	case rankWALShard:
+		return "shard.mu"
+	case rankWALFlush:
+		return "flushMu"
 	}
 	return "?"
 }
@@ -297,6 +317,42 @@ func (w *latchWalker) apply(op latchOp, pos token.Pos) {
 		}
 	}
 
+	// Rule 4 (frame groups): only descriptor.mu may be acquired under fg.mu.
+	if op.rank != rankMu {
+		for heldBase, rs := range w.held {
+			if rs[rankFg] {
+				w.pass.report(pos, "latchorder",
+					"acquiring %s.%s while %s (a frame-group lock) is held (only descriptor.mu may be taken under fg.mu)",
+					base, rankName(op.rank), heldBase)
+				break
+			}
+		}
+	}
+
+	// Rules 5 and 6 (WAL order): a shard mutex is a leaf on the append path —
+	// shard→shard only under flushMu (the combining flusher) — and flushMu
+	// admits nothing but shard mutexes under it.
+	flushHeld := false
+	for _, rs := range w.held {
+		if rs[rankWALFlush] {
+			flushHeld = true
+			break
+		}
+	}
+	for heldBase, rs := range w.held {
+		if rs[rankWALShard] && !(op.rank == rankWALShard && flushHeld) {
+			w.pass.report(pos, "latchorder",
+				"acquiring %s.%s while %s (a WAL shard mutex) is held (shard mutexes are leaves on the append path; shard→shard only under flushMu)",
+				base, rankName(op.rank), heldBase)
+			break
+		}
+	}
+	if flushHeld && op.rank != rankWALShard {
+		w.pass.report(pos, "latchorder",
+			"acquiring %s.%s while flushMu is held (only shard mutexes may be taken under flushMu)",
+			base, rankName(op.rank))
+	}
+
 	if op.rank == rankMu {
 		if w.held[base] != nil && w.held[base][rankMu] {
 			w.pass.report(pos, "latchorder",
@@ -307,10 +363,11 @@ func (w *latchWalker) apply(op latchOp, pos token.Pos) {
 	}
 
 	// Rule 1 (tier order on one descriptor): a new tier latch must outrank
-	// every tier latch already held on the same descriptor.
-	if rs := w.held[base]; rs != nil {
+	// every tier latch already held on the same descriptor. Only the tier
+	// ranks participate — fg/WAL locks have their own rules above.
+	if rs := w.held[base]; rs != nil && op.rank <= rankS {
 		for r := range rs {
-			if r != rankMu && r >= op.rank {
+			if r <= rankS && r >= op.rank {
 				w.pass.report(pos, "latchorder",
 					"acquiring %s.%s while holding %s.%s (tier order is latchD → latchN → latchS)",
 					base, rankName(op.rank), base, rankName(r))
@@ -320,15 +377,16 @@ func (w *latchWalker) apply(op latchOp, pos token.Pos) {
 	}
 
 	// Rule 3 (second descriptor): blocking Lock of a tier latch is illegal
-	// while any other descriptor's tier latch is held.
-	if op.kind == "lock" {
+	// while any other descriptor's tier latch is held. Tier latches only:
+	// taking fg.mu or a WAL lock under a tier latch is the normal order.
+	if op.kind == "lock" && op.rank <= rankS {
 	outer:
 		for heldBase, rs := range w.held {
 			if heldBase == base {
 				continue
 			}
 			for r := range rs {
-				if r != rankMu {
+				if r <= rankS {
 					w.pass.report(pos, "latchorder",
 						"blocking Lock of %s.%s while holding %s.%s on another descriptor (use TryLock for second descriptors)",
 						base, rankName(op.rank), heldBase, rankName(r))
@@ -448,20 +506,147 @@ func (p *pass) latchCall(call *ast.CallExpr) (latchOp, bool) {
 		if !ok {
 			return latchOp{}, false
 		}
+		baseT := p.unit.info.Types[inner.X].Type
+		switch {
+		case inner.Sel.Name == "mu" && p.isFrameGroupType(baseT):
+			return latchOp{base: inner.X, rank: rankFg, kind: kind}, true
+		case inner.Sel.Name == "mu" && p.isWALShardType(baseT):
+			return latchOp{base: inner.X, rank: rankWALShard, kind: kind}, true
+		case inner.Sel.Name == "flushMu" && p.isWALManagerType(baseT):
+			return latchOp{base: inner.X, rank: rankWALFlush, kind: kind}, true
+		}
 		rank := latchFieldRank(inner.Sel.Name)
-		if rank == 0 || !p.isDescriptorType(p.unit.info.Types[inner.X].Type) {
+		if rank == 0 || !p.isDescriptorType(baseT) {
 			return latchOp{}, false
 		}
 		return latchOp{base: inner.X, rank: rank, kind: kind}, true
 	}
 
-	// Shim method form.
+	// Frame-group shim form: fg.lock() / fg.unlock() on an fgState-shaped
+	// receiver. The generic names make the type gate load-bearing.
+	if name == "lock" || name == "unlock" {
+		if p.isFrameGroupType(p.unit.info.Types[sel.X].Type) {
+			k := "lock"
+			if name == "unlock" {
+				k = "unlock"
+			}
+			return latchOp{base: sel.X, rank: rankFg, kind: k}, true
+		}
+		return latchOp{}, false
+	}
+
+	// WAL shim forms on a manager-shaped receiver. The shard shims carry the
+	// shard as an argument, so the *argument* is the latch's base.
+	if name == "lockShard" || name == "unlockShard" {
+		if len(call.Args) == 1 && p.isWALManagerType(p.unit.info.Types[sel.X].Type) {
+			k := "lock"
+			if name == "unlockShard" {
+				k = "unlock"
+			}
+			return latchOp{base: call.Args[0], rank: rankWALShard, kind: k}, true
+		}
+		return latchOp{}, false
+	}
+	if name == "lockFlush" || name == "tryLockFlush" || name == "unlockFlush" {
+		if p.isWALManagerType(p.unit.info.Types[sel.X].Type) {
+			k := "lock"
+			switch name {
+			case "tryLockFlush":
+				k = "try"
+			case "unlockFlush":
+				k = "unlock"
+			}
+			return latchOp{base: sel.X, rank: rankWALFlush, kind: k}, true
+		}
+		return latchOp{}, false
+	}
+
+	// Descriptor shim method form.
 	op, ok := latchShims[name]
 	if !ok || !p.isDescriptorType(p.unit.info.Types[sel.X].Type) {
 		return latchOp{}, false
 	}
 	op.base = sel.X
 	return op, true
+}
+
+// isFrameGroupType reports whether t (possibly a pointer) is shaped like
+// internal/core's fgState: a struct with a mu sync.Mutex plus resident and
+// dirty bitmap fields. Only on such structs does a bare lock()/unlock()
+// method or a .mu field carry frame-group locking semantics.
+func (p *pass) isFrameGroupType(t types.Type) bool {
+	st := structOf(t)
+	if st == nil {
+		return false
+	}
+	var hasMu, hasResident, hasDirty bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "mu":
+			hasMu = isSyncMutex(f.Type())
+		case "resident":
+			hasResident = true
+		case "dirty":
+			hasDirty = true
+		}
+	}
+	return hasMu && hasResident && hasDirty
+}
+
+// isWALShardType recognizes internal/wal's walShard shape: a struct with a
+// mu sync.Mutex and a bufOff append cursor.
+func (p *pass) isWALShardType(t types.Type) bool {
+	st := structOf(t)
+	if st == nil {
+		return false
+	}
+	var hasMu, hasBufOff bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "mu":
+			hasMu = isSyncMutex(f.Type())
+		case "bufOff":
+			hasBufOff = true
+		}
+	}
+	return hasMu && hasBufOff
+}
+
+// isWALManagerType recognizes internal/wal's Manager shape: any struct with
+// a flushMu sync.Mutex.
+func (p *pass) isWALManagerType(t types.Type) bool {
+	st := structOf(t)
+	if st == nil {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "flushMu" && isSyncMutex(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// structOf strips pointers and returns t's underlying struct, or nil.
+func structOf(t types.Type) *types.Struct {
+	if t == nil {
+		return nil
+	}
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return st
 }
 
 // isDescriptorType reports whether t (possibly a pointer) is a struct with

@@ -79,3 +79,97 @@ func Clean(a, b *descriptor, buf []byte) error {
 	b.mu.Unlock()
 	return nil
 }
+
+// fgroup mirrors internal/core's fgState shape: mu plus residency/dirty
+// bitmaps. Its bare lock/unlock methods are the frame-group shims.
+type fgroup struct {
+	mu       sync.Mutex
+	resident []uint64
+	dirty    []uint64
+}
+
+func (fg *fgroup) lock() { fg.mu.Lock() }
+
+func (fg *fgroup) unlock() { fg.mu.Unlock() }
+
+// walShard mirrors internal/wal's shard shape (mu + bufOff cursor).
+type walShard struct {
+	mu     sync.Mutex
+	bufOff int64
+}
+
+// walManager mirrors internal/wal's Manager shape (flushMu + shards).
+type walManager struct {
+	flushMu sync.Mutex
+	shards  []*walShard
+}
+
+func (m *walManager) lockShard(sh *walShard) { sh.mu.Lock() }
+
+func (m *walManager) unlockShard(sh *walShard) { sh.mu.Unlock() }
+
+func (m *walManager) lockFlush() { m.flushMu.Lock() }
+
+func (m *walManager) tryLockFlush() bool { return m.flushMu.TryLock() }
+
+func (m *walManager) unlockFlush() { m.flushMu.Unlock() }
+
+// FgNotLeaf acquires a tier latch under a frame-group lock.
+func FgNotLeaf(d *descriptor, fg *fgroup) {
+	fg.lock()
+	d.latchD.Lock() // want latchorder
+	d.latchD.Unlock()
+	fg.unlock()
+}
+
+// ShardShardNoFlush chains two WAL shard mutexes outside the flusher.
+func ShardShardNoFlush(m *walManager, a, b *walShard) {
+	m.lockShard(a)
+	m.lockShard(b) // want latchorder
+	m.unlockShard(b)
+	m.unlockShard(a)
+}
+
+// FlushUnderShard inverts the WAL order (flushMu must come first).
+func FlushUnderShard(m *walManager, sh *walShard) {
+	m.lockShard(sh)
+	m.lockFlush() // want latchorder
+	m.unlockFlush()
+	m.unlockShard(sh)
+}
+
+// FlushAdmitsOnlyShards takes a non-shard latch under flushMu.
+func FlushAdmitsOnlyShards(m *walManager, d *descriptor) {
+	m.lockFlush()
+	d.latchD.Lock() // want latchorder
+	d.latchD.Unlock()
+	m.unlockFlush()
+}
+
+// CleanExtended follows the extended discipline: fg.mu under a tier latch
+// with only descriptor.mu beneath it, the shard mutex as an append-path
+// leaf, the combining flusher's flushMu → shard order (shim and raw forms),
+// and a TryLock skip-out on flushMu.
+func CleanExtended(d *descriptor, fg *fgroup, m *walManager, a, b *walShard) {
+	d.latchS.Lock()
+	fg.lock()
+	d.mu.Lock() // the one legal acquisition under fg.mu
+	d.mu.Unlock()
+	fg.unlock()
+	d.latchS.Unlock()
+
+	m.lockShard(a)
+	m.unlockShard(a)
+
+	m.lockFlush()
+	m.lockShard(a)
+	m.unlockShard(a)
+	m.lockShard(b)
+	m.unlockShard(b)
+	m.unlockFlush()
+
+	if !m.tryLockFlush() {
+		return
+	}
+	m.flushMu.Unlock()
+}

@@ -25,7 +25,7 @@ func TestScanBufferStatsCountsDamage(t *testing.T) {
 	// bodyLen = 60 (>= the record header), body all zeros.
 	garbage := make([]byte, 8+60)
 	garbage[0] = 60
-	off := m.bufOff
+	off := m.shards[0].bufOff
 	pm.Write(c, off, garbage)
 	pm.Persist(c, off, len(garbage))
 	var word [8]byte

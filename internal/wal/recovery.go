@@ -56,33 +56,40 @@ type RecoveredLog struct {
 }
 
 // ScanBuffer parses the surviving NVM log buffer (used by Recover and by
-// tests).
+// tests). It assumes the original single-shard layout; sharded buffers are
+// scanned region by region inside Recover.
 func ScanBuffer(c *vclock.Clock, pm *pmem.PMem) []Record {
 	var st RecoveryStats
 	return ScanBufferStats(c, pm, &st)
 }
 
-// ScanBufferStats parses the surviving NVM log buffer, accumulating damage
-// counts into st. The buffer scan stops at the first bad frame rather than
-// resyncing: records are appended strictly in order and each is persisted
-// before the extent advances, so the only record a crash can tear is the
-// last one — anything after the first failure is a torn tail, and resyncing
-// into it could resurrect stale pre-truncate bytes.
+// ScanBufferStats parses a surviving single-shard NVM log buffer,
+// accumulating damage counts into st.
 func ScanBufferStats(c *vclock.Clock, pm *pmem.PMem, st *RecoveryStats) []Record {
-	if pm.Size() < bufHeaderSize {
+	return scanShardRegion(c, pm, 0, pm.Size(), st)
+}
+
+// scanShardRegion parses the live records of one shard region [base, limit).
+// The scan stops at the first bad frame rather than resyncing: records are
+// appended strictly in order within a shard and each is persisted before the
+// extent advances, so the only record a crash can tear is the last one —
+// anything after the first failure is a torn tail, and resyncing into it
+// could resurrect stale pre-truncate bytes.
+func scanShardRegion(c *vclock.Clock, pm *pmem.PMem, base, limit int64, st *RecoveryStats) []Record {
+	if limit-base < bufHeaderSize {
 		return nil
 	}
 	var hdr [16]byte
-	pm.Read(c, 0, hdr[:])
+	pm.Read(c, base, hdr[:])
 	if le64(hdr[0:]) != walBufMagic {
 		return nil
 	}
 	off := int64(le64(hdr[8:]))
-	if off < bufHeaderSize || off > pm.Size() {
+	if off < base+bufHeaderSize || off > limit {
 		return nil
 	}
-	live := make([]byte, off-bufHeaderSize)
-	pm.Read(c, bufHeaderSize, live)
+	live := make([]byte, off-(base+bufHeaderSize))
+	pm.Read(c, base+bufHeaderSize, live)
 	var recs []Record
 	for len(live) > 0 {
 		rec, n, status := decodeOne(live)
@@ -145,19 +152,28 @@ func le64(b []byte) uint64 {
 // Recover runs the paper's recovery sequence against a surviving NVM log
 // buffer and SSD log file:
 //
-//  1. complete the log: records still in the (persistent) NVM buffer are
-//     appended to the SSD log file;
+//  1. complete the log: records still in the (persistent) NVM buffer's
+//     shard regions are appended to the SSD log file;
 //  2. analysis: classify transactions into winners and losers;
 //  3. redo: repeat history for all records in LSN order;
 //  4. undo: roll back losers' updates in reverse LSN order.
+//
+// opt.Shards must match what the crashed buffer was initialized with: the
+// shard regions are fixed slices of the arena, and recovery scans each
+// region's extent independently before merging the tails by LSN (the
+// sort-by-LSN below is that merge — within a shard records are already
+// ordered, across shards they interleave).
 //
 // It returns a fresh Manager positioned after the recovered log, plus the
 // recovered-log summary.
 func Recover(c *vclock.Clock, opt Options, app Applier) (*Manager, *RecoveredLog, error) {
 	var stats RecoveryStats
 
-	// Step 1: complete the log.
-	tail := ScanBufferStats(c, opt.Buffer, &stats)
+	// Step 1: complete the log, one shard tail at a time.
+	var tail []Record
+	for _, reg := range shardRegions(opt.Buffer.Size(), normalizeShards(opt.Shards)) {
+		tail = append(tail, scanShardRegion(c, opt.Buffer, reg[0], reg[1], &stats)...)
+	}
 	var tailBytes []byte
 	for i := range tail {
 		tailBytes = tail[i].encode(tailBytes)

@@ -288,6 +288,14 @@ var (
 // OpenDB opens a storage engine over a buffer manager.
 func OpenDB(opts DBOptions) (*DB, error) { return engine.Open(opts) }
 
+// RecommendedWALShards is the WALOptions.Shards value tuned by
+// BenchmarkWALAppendParallel for multi-worker commit paths: four
+// worker-affine append shards scale commit throughput with GOMAXPROCS ≥ 4
+// while keeping per-shard regions large enough that group-commit flushes
+// stay batched. The default (Shards = 1) remains the right choice for
+// single-worker and determinism-sensitive runs.
+const RecommendedWALShards = 4
+
 // NewWAL creates a write-ahead log manager.
 func NewWAL(opts WALOptions) (*WAL, error) { return wal.New(opts) }
 
