@@ -10,6 +10,7 @@ package spitfire_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -149,6 +150,64 @@ func BenchmarkFetchChurnParallel(b *testing.B) {
 			h.Release()
 		}
 	})
+}
+
+// BenchmarkFetchParallel measures the multi-worker fetch/eviction path with
+// the pools unsharded (shards=1, the old global CLOCK hand + free list) and
+// sharded GOMAXPROCS ways (the facade default). The working set is far
+// beyond DRAM so every worker continuously allocates frames, which is the
+// path the per-shard free lists and work-stealing exist for. On a single
+// CPU the two runs are expected to be within noise of each other (there is
+// no contention to shed); the shards=1 baseline is still worth keeping as
+// the regression reference.
+func BenchmarkFetchParallel(b *testing.B) {
+	const pages = 512
+	for _, shards := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			bm, err := spitfire.New(spitfire.Config{
+				DRAMBytes: 16 * spitfire.PageSize,
+				NVMBytes:  64 * (spitfire.PageSize + 64),
+				Policy:    spitfire.SpitfireLazy,
+				Shards:    shards,
+				Cleaner:   spitfire.CleanerConfig{Disable: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(bm.Close)
+			seedCtx := spitfire.NewCtx(1)
+			seed := make([]byte, spitfire.PageSize)
+			for pid := uint64(0); pid < pages; pid++ {
+				if err := bm.SeedPage(seedCtx, pid, seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var worker int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker
+				worker++
+				ctx := spitfire.NewCtx(uint64(w) + 100)
+				rng := uint64(w)*2654435761 + 1
+				buf := make([]byte, 1024)
+				for pb.Next() {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					pid := (rng >> 33) % pages
+					h, err := bm.FetchPage(ctx, pid, spitfire.ReadIntent)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := h.ReadAt(ctx, 0, buf); err != nil {
+						b.Error(err)
+						h.Release()
+						return
+					}
+					h.Release()
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkWALAppend measures the commit path: one update record plus the

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// snapshotDoc mirrors the JSON served at /snapshot.json (internal/obs).
+// Fields the diff does not use (deltas, phase_histograms) are parsed but
+// ignored: they describe the scrape interval of the capture, not the span
+// between two captures.
+type snapshotDoc struct {
+	WallUnixNS int64                  `json:"wall_unix_ns"`
+	Counters   map[string]int64       `json:"counters"`
+	Gauges     map[string]int64       `json:"gauges"`
+	Derived    map[string]float64     `json:"derived"`
+	Histograms map[string]histSummary `json:"histograms"`
+}
+
+type histSummary struct {
+	Count  int64   `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P90NS  int64   `json:"p90_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// diff compares two /snapshot.json captures of the same server: counter
+// deltas with per-second rates over the wall interval, gauge and derived
+// hit-rate movement, and histogram quantile shifts.
+func diff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	all := fs.Bool("all", false, "include counters whose delta is zero")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("diff: want exactly two snapshot.json files, got %d", fs.NArg()))
+	}
+	a, err := loadSnapshot(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := loadSnapshot(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	dt := float64(b.WallUnixNS-a.WallUnixNS) / 1e9
+	fmt.Printf("interval: %.3fs  (%s -> %s)\n", dt, fs.Arg(0), fs.Arg(1))
+	if dt <= 0 {
+		fmt.Println("warning: second capture is not newer than the first; rates omitted")
+	}
+
+	fmt.Println("\ncounters:")
+	for _, name := range unionKeys(a.Counters, b.Counters) {
+		av, aok := a.Counters[name]
+		bv, bok := b.Counters[name]
+		switch {
+		case !aok:
+			fmt.Printf("  %-32s %14d  (new)\n", name, bv)
+		case !bok:
+			fmt.Printf("  %-32s %14s  (gone, was %d)\n", name, "", av)
+		default:
+			d := bv - av
+			if d == 0 && !*all {
+				continue
+			}
+			if dt > 0 {
+				fmt.Printf("  %-32s %+14d  (%.1f/s)\n", name, d, float64(d)/dt)
+			} else {
+				fmt.Printf("  %-32s %+14d\n", name, d)
+			}
+		}
+	}
+
+	fmt.Println("\ngauges:")
+	for _, name := range unionKeys(a.Gauges, b.Gauges) {
+		av, bv := a.Gauges[name], b.Gauges[name]
+		if av == bv && !*all {
+			continue
+		}
+		fmt.Printf("  %-32s %d -> %d\n", name, av, bv)
+	}
+
+	if len(a.Derived)+len(b.Derived) > 0 {
+		fmt.Println("\nderived:")
+		for _, name := range unionKeys(a.Derived, b.Derived) {
+			fmt.Printf("  %-32s %.4f -> %.4f\n", name, a.Derived[name], b.Derived[name])
+		}
+	}
+
+	fmt.Println("\nhistograms:")
+	for _, name := range unionKeys(a.Histograms, b.Histograms) {
+		ah, bh := a.Histograms[name], b.Histograms[name]
+		fmt.Printf("  %s: count %+d\n", name, bh.Count-ah.Count)
+		quantShift("p50_ns", ah.P50NS, bh.P50NS)
+		quantShift("p90_ns", ah.P90NS, bh.P90NS)
+		quantShift("p99_ns", ah.P99NS, bh.P99NS)
+		quantShift("max_ns", ah.MaxNS, bh.MaxNS)
+	}
+}
+
+// quantShift prints one quantile's movement with a signed percentage when
+// the baseline is non-zero.
+func quantShift(label string, from, to int64) {
+	if from == to {
+		return
+	}
+	if from != 0 {
+		fmt.Printf("    %-8s %12d -> %-12d (%+.1f%%)\n", label, from, to,
+			100*float64(to-from)/float64(from))
+		return
+	}
+	fmt.Printf("    %-8s %12d -> %-12d\n", label, from, to)
+}
+
+func loadSnapshot(path string) (*snapshotDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// unionKeys returns the sorted union of both maps' keys.
+func unionKeys[V any](a, b map[string]V) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		set[k] = struct{}{}
+	}
+	for k := range b {
+		set[k] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

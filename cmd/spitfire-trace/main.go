@@ -7,6 +7,7 @@
 //	spitfire-trace gen -ops 100000 -keys 50000 -theta 0.5 -writes 30 > trace.txt
 //	spitfire-trace replay -dram 8 -nvm 32 -policy lazy  < trace.txt
 //	spitfire-trace replay -dram 8 -nvm 32 -policy eager -workers 8 trace.txt
+//	spitfire-trace diff before-snapshot.json after-snapshot.json
 //
 // Sizes are in MB. Policies: lazy (Spitfire-Lazy), eager (Spitfire-Eager),
 // hymem (HyMem with the admission queue), or a custom tuple
@@ -42,6 +43,8 @@ func main() {
 		replay(os.Args[2:])
 	case "compare":
 		compare(os.Args[2:])
+	case "diff":
+		diff(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -256,5 +259,6 @@ usage:
   spitfire-trace gen     [-ops N] [-keys N] [-theta F] [-writes PCT] [-seed N]
   spitfire-trace replay  [-dram MB] [-nvm MB] [-policy P] [-workers N] [-obs ADDR] [-traceout FILE] [trace-file]
   spitfire-trace compare [-budget MB] [-workers N] [trace-file]
+  spitfire-trace diff    [-all] before-snapshot.json after-snapshot.json
 `)
 }

@@ -1,27 +1,67 @@
-// Package cht provides a lock-striped concurrent hash table.
+// Package cht provides a concurrent hash table with lock-free reads.
 //
 // The paper uses Intel TBB's concurrent hash map for the DRAM-resident
 // mapping table from logical page identifiers to shared page descriptors
-// (§5.2). This package is the stdlib-only stand-in: a generic map sharded
-// across 2^k stripes, each guarded by its own RWMutex. All operations are
-// linearizable per key.
+// (§5.2); its scalability evaluation (§6) depends on that table never
+// serializing fetches. This package is the stdlib-only stand-in: keys are
+// sharded across 2^k stripes, each holding a chained hash table whose bucket
+// heads and chain links are atomic pointers. Get walks a bucket chain with
+// plain atomic loads and never takes a lock; Put/Delete/GetOrInsert
+// serialize per stripe under the stripe mutex and publish every structural
+// change with atomic stores, so readers always observe a consistent chain.
+// All operations are linearizable per key.
+//
+// Updates never mutate a published node: replacing a value splices in a
+// fresh node, and a stripe resize copies every node into a new bucket array
+// before swinging the stripe's table pointer. A reader that entered the old
+// table keeps walking an immutable-enough snapshot (nodes it can reach are
+// never relinked into the new table), so it sees every key that was present
+// when it loaded the table pointer — its linearization point.
 package cht
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 const defaultShardBits = 8
 
+// stripeInitBuckets is each stripe's initial bucket count; stripes double
+// their table when the entry count passes loadFactor entries per bucket.
+const (
+	stripeInitBuckets = 8
+	loadFactor        = 4
+)
+
 // Map is a concurrent hash map from K to V.
 type Map[K comparable, V any] struct {
-	shards []mapShard[K, V]
-	mask   uint64
-	hash   func(K) uint64
+	stripes []stripe[K, V]
+	mask    uint64
+	hash    func(K) uint64
 }
 
-type mapShard[K comparable, V any] struct {
-	mu sync.RWMutex
-	m  map[K]V
-	_  [40]byte // pad to reduce false sharing between neighboring stripes
+// node is one immutable key/value pair on a bucket chain. The chain link is
+// atomic so writers can splice nodes in and out under readers; key and val
+// are never written after the node is published.
+type node[K comparable, V any] struct {
+	key  K
+	val  V
+	next atomic.Pointer[node[K, V]]
+}
+
+// table is one stripe's bucket array. Resizes publish a whole new table
+// (with copied nodes) rather than rehashing in place.
+type table[K comparable, V any] struct {
+	buckets []atomic.Pointer[node[K, V]]
+	mask    uint64
+}
+
+type stripe[K comparable, V any] struct {
+	mu     sync.Mutex // writers only; Get never touches it
+	tab    atomic.Pointer[table[K, V]]
+	count  int            // entries, guarded by mu
+	hashFn func(K) uint64 // the map's hash, needed to rehash during grow
+	_      [24]byte       // pad to reduce false sharing between neighboring stripes
 }
 
 // New creates a map using the given hash function with the default stripe
@@ -37,14 +77,22 @@ func NewWithShards[K comparable, V any](hash func(K) uint64, shards int) *Map[K,
 		panic("cht: shard count must be a positive power of two")
 	}
 	m := &Map[K, V]{
-		shards: make([]mapShard[K, V], shards),
-		mask:   uint64(shards - 1),
-		hash:   hash,
+		stripes: make([]stripe[K, V], shards),
+		mask:    uint64(shards - 1),
+		hash:    hash,
 	}
-	for i := range m.shards {
-		m.shards[i].m = make(map[K]V)
+	for i := range m.stripes {
+		m.stripes[i].hashFn = hash
+		m.stripes[i].tab.Store(newTable[K, V](stripeInitBuckets))
 	}
 	return m
+}
+
+func newTable[K comparable, V any](buckets int) *table[K, V] {
+	return &table[K, V]{
+		buckets: make([]atomic.Pointer[node[K, V]], buckets),
+		mask:    uint64(buckets - 1),
+	}
 }
 
 // Uint64Hash is a Fibonacci/avalanche hash suitable for integer keys such as
@@ -58,37 +106,106 @@ func Uint64Hash(k uint64) uint64 {
 	return k
 }
 
-func (m *Map[K, V]) shard(k K) *mapShard[K, V] {
-	return &m.shards[m.hash(k)&m.mask]
+func (m *Map[K, V]) stripeFor(h uint64) *stripe[K, V] {
+	return &m.stripes[h&m.mask]
 }
 
-// Get returns the value for k, if present.
+// Get returns the value for k, if present. It is lock-free: a table-pointer
+// load, a bucket-head load, and a chain walk over atomic links.
 func (m *Map[K, V]) Get(k K) (V, bool) {
-	s := m.shard(k)
-	s.mu.RLock()
-	v, ok := s.m[k]
-	s.mu.RUnlock()
-	return v, ok
+	h := m.hash(k)
+	t := m.stripeFor(h).tab.Load()
+	for n := t.buckets[h&t.mask].Load(); n != nil; n = n.next.Load() {
+		if n.key == k {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
 }
 
 // Put stores v under k, replacing any existing value.
 func (m *Map[K, V]) Put(k K, v V) {
-	s := m.shard(k)
+	h := m.hash(k)
+	s := m.stripeFor(h)
 	s.mu.Lock()
-	s.m[k] = v
+	s.put(h, k, v)
 	s.mu.Unlock()
 }
 
+// put inserts or replaces (k, v); the caller holds s.mu.
+func (s *stripe[K, V]) put(h uint64, k K, v V) {
+	t := s.tab.Load()
+	b := &t.buckets[h&t.mask]
+	var prev *node[K, V]
+	for n := b.Load(); n != nil; n = n.next.Load() {
+		if n.key == k {
+			// Replace by splicing in a fresh node: published nodes are
+			// immutable so concurrent readers see either the old or the new
+			// value, never a torn one.
+			repl := &node[K, V]{key: k, val: v}
+			repl.next.Store(n.next.Load())
+			if prev == nil {
+				b.Store(repl)
+			} else {
+				prev.next.Store(repl)
+			}
+			return
+		}
+		prev = n
+	}
+	fresh := &node[K, V]{key: k, val: v}
+	fresh.next.Store(b.Load())
+	b.Store(fresh)
+	s.count++
+	if s.count > len(t.buckets)*loadFactor {
+		s.grow(t)
+	}
+}
+
+// grow doubles the stripe's bucket array. Every node is copied — relinking
+// published nodes would corrupt the chains concurrent readers are walking in
+// the old table — and the new table is published with one atomic store.
+func (s *stripe[K, V]) grow(old *table[K, V]) {
+	t := newTable[K, V](len(old.buckets) * 2)
+	for i := range old.buckets {
+		for n := old.buckets[i].Load(); n != nil; n = n.next.Load() {
+			h := s.rehash(n.key)
+			b := &t.buckets[h&t.mask]
+			c := &node[K, V]{key: n.key, val: n.val}
+			c.next.Store(b.Load())
+			b.Store(c)
+		}
+	}
+	s.tab.Store(t)
+}
+
+// rehash recomputes a key's hash during a resize. Stored on the stripe via
+// the owning map's hash function pointer, captured at construction.
+func (s *stripe[K, V]) rehash(k K) uint64 { return s.hashFn(k) }
+
 // Delete removes k. It reports whether the key was present.
 func (m *Map[K, V]) Delete(k K) bool {
-	s := m.shard(k)
+	h := m.hash(k)
+	s := m.stripeFor(h)
 	s.mu.Lock()
-	_, ok := s.m[k]
-	if ok {
-		delete(s.m, k)
+	defer s.mu.Unlock()
+	t := s.tab.Load()
+	b := &t.buckets[h&t.mask]
+	var prev *node[K, V]
+	for n := b.Load(); n != nil; n = n.next.Load() {
+		if n.key == k {
+			if prev == nil {
+				b.Store(n.next.Load())
+			} else {
+				prev.next.Store(n.next.Load())
+			}
+			s.count--
+			return true
+		}
+		prev = n
 	}
-	s.mu.Unlock()
-	return ok
+	return false
 }
 
 // GetOrInsert returns the existing value for k, or stores and returns the
@@ -96,47 +213,47 @@ func (m *Map[K, V]) Delete(k K) bool {
 // and only if the key is absent. loaded reports whether the value already
 // existed.
 func (m *Map[K, V]) GetOrInsert(k K, mk func() V) (v V, loaded bool) {
-	s := m.shard(k)
-	s.mu.RLock()
-	v, ok := s.m[k]
-	s.mu.RUnlock()
-	if ok {
+	if v, ok := m.Get(k); ok {
 		return v, true
 	}
+	h := m.hash(k)
+	s := m.stripeFor(h)
 	s.mu.Lock()
-	v, ok = s.m[k]
-	if !ok {
-		v = mk()
-		s.m[k] = v
+	defer s.mu.Unlock()
+	t := s.tab.Load()
+	for n := t.buckets[h&t.mask].Load(); n != nil; n = n.next.Load() {
+		if n.key == k {
+			return n.val, true
+		}
 	}
-	s.mu.Unlock()
-	return v, ok
+	v = mk()
+	s.put(h, k, v)
+	return v, false
 }
 
 // Len returns the number of entries. It is a snapshot, not a fence.
 func (m *Map[K, V]) Len() int {
 	n := 0
-	for i := range m.shards {
-		m.shards[i].mu.RLock()
-		n += len(m.shards[i].m)
-		m.shards[i].mu.RUnlock()
+	for i := range m.stripes {
+		m.stripes[i].mu.Lock()
+		n += m.stripes[i].count
+		m.stripes[i].mu.Unlock()
 	}
 	return n
 }
 
 // Range calls f for every entry until f returns false. Entries inserted or
-// removed concurrently may or may not be observed; each stripe is visited
-// under its read lock.
+// removed concurrently may or may not be observed; each stripe is walked
+// lock-free over the table snapshot current when the stripe is reached.
 func (m *Map[K, V]) Range(f func(K, V) bool) {
-	for i := range m.shards {
-		s := &m.shards[i]
-		s.mu.RLock()
-		for k, v := range s.m {
-			if !f(k, v) {
-				s.mu.RUnlock()
-				return
+	for i := range m.stripes {
+		t := m.stripes[i].tab.Load()
+		for b := range t.buckets {
+			for n := t.buckets[b].Load(); n != nil; n = n.next.Load() {
+				if !f(n.key, n.val) {
+					return
+				}
 			}
 		}
-		s.mu.RUnlock()
 	}
 }

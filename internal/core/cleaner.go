@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spitfire-db/spitfire/internal/obs"
@@ -109,6 +110,11 @@ type cleaner struct {
 	// bandwidth horizon with the foreground workers.
 	ctx *Ctx
 
+	// needy is a shard hint: the index of the shard whose allocator kicked
+	// the cleaner most recently. Replenishment starts its victim sweep there
+	// so the shard under pressure is restocked first; -1 means no hint.
+	needy atomic.Int32
+
 	kick     chan struct{}
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -166,8 +172,10 @@ func newCleaner(bm *BufferManager, tier cleanerTier, pool *basePool, cc CleanerC
 }
 
 // wake nudges the cleaner without blocking; allocators call it when a free
-// list runs low or empty.
-func (c *cleaner) wake() {
+// list runs low or empty, passing their home shard so replenishment sweeps
+// the starved shard first.
+func (c *cleaner) wake(si int) {
+	c.needy.Store(int32(si))
 	select {
 	case c.kick <- struct{}{}:
 	default:
@@ -182,7 +190,7 @@ func (c *cleaner) close() {
 	<-c.done
 }
 
-func (c *cleaner) freeCount() int { return len(c.pool.free) }
+func (c *cleaner) freeCount() int { return c.pool.freeCount() }
 
 func (c *cleaner) run() {
 	defer close(c.done)
@@ -225,9 +233,15 @@ func (c *cleaner) replenish() {
 		}
 		produced := 0
 		attempts := c.batch*2 + c.pool.nFrames
+		// Start the victim sweep at the shard whose allocator kicked us (if
+		// any) and rotate across all shard hands as attempts accumulate.
+		si := int(c.needy.Load())
+		if si < 0 {
+			si = 0
+		}
 		for produced < c.batch && attempts > 0 && c.freeCount() < c.high {
 			attempts--
-			if c.reclaimOne() {
+			if c.reclaimOne(si + attempts) {
 				produced++
 			}
 		}
@@ -252,12 +266,13 @@ func (c *cleaner) replenish() {
 	}
 }
 
-// reclaimOne freezes one CLOCK victim, pre-cleans it (migrating its page
-// down-tier exactly as a foreground eviction would, charged to the cleaner's
-// clock), and pushes the frozen clean frame onto the pool's free list.
-func (c *cleaner) reclaimOne() bool {
+// reclaimOne freezes one CLOCK victim from shard si's hand (wrapped across
+// shards), pre-cleans it (migrating its page down-tier exactly as a
+// foreground eviction would, charged to the cleaner's clock), and pushes the
+// frozen clean frame onto its home shard's free list.
+func (c *cleaner) reclaimOne(si int) bool {
 	p := c.pool
-	v := int32(p.clock.Victim())
+	v := p.victim(si)
 	m := &p.meta[v]
 	if !m.tryFreeze() {
 		return false

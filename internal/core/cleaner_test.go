@@ -75,9 +75,9 @@ func TestCleanerWatermarkReplenish(t *testing.T) {
 	// finish mid-churn and leave the list idling in [low, high), which is
 	// legal under the hysteresis protocol. One explicit post-churn kick
 	// makes the refill-to-high assertion deterministic.
-	bm.dramCleaner.wake()
+	bm.dramCleaner.wake(0)
 	waitFor(t, "free list to reach the high watermark", func() bool {
-		return len(bm.dram.free) >= 5
+		return bm.dram.freeCount() >= 5
 	})
 	// Above the high watermark the cleaner must idle: batch and cleaned
 	// counters stop moving.
@@ -87,7 +87,7 @@ func TestCleanerWatermarkReplenish(t *testing.T) {
 	if st2.CleanerBatches != st.CleanerBatches || st2.CleanerCleanedDRAM != st.CleanerCleanedDRAM {
 		t.Fatalf("cleaner kept working above the high watermark: %+v -> %+v", st, st2)
 	}
-	if got := len(bm.dram.free); got < 5 || got > frames {
+	if got := bm.dram.freeCount(); got < 5 || got > frames {
 		t.Fatalf("free list holds %d frames, want within [5, %d]", got, frames)
 	}
 	if st2.CleanerCleanedDRAM == 0 {
@@ -126,7 +126,7 @@ func TestCleanerStallsWhenAllPinned(t *testing.T) {
 	// Pins drained: the cleaner must now recover the pool to the high
 	// watermark on its own.
 	waitFor(t, "replenish after pins drain", func() bool {
-		return len(bm.dram.free) >= frames-1
+		return bm.dram.freeCount() >= frames-1
 	})
 }
 

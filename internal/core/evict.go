@@ -29,10 +29,10 @@ func allocExpired(i int, start *time.Time) bool {
 		return false
 	}
 	if start.IsZero() {
-		*start = time.Now() //vet:allow determinism host-side liveness deadline, never feeds simulated time
+		*start = time.Now() //vet:allow determinism allocDeadline is a host-side liveness bound, never feeds simulated time
 		return false
 	}
-	return time.Since(*start) > allocDeadline //vet:allow determinism host-side liveness deadline, never feeds simulated time
+	return time.Since(*start) > allocDeadline //vet:allow determinism allocDeadline is a host-side liveness bound, never feeds simulated time
 }
 
 // alloc returns a frozen, clean DRAM frame, evicting a victim if the free
@@ -42,24 +42,28 @@ func allocExpired(i int, start *time.Time) bool {
 // immediately (retries already ran inside the eviction) rather than spinning
 // the victim search against a failing device.
 func (p *dramPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
-	if f, ok := p.takeFree(); ok {
-		if cl := bm.dramCleaner; cl != nil && len(p.free) < cl.low {
-			cl.wake()
+	home := p.shardIndexFor(ctx)
+	if f, ok := p.takeFree(ctx); ok {
+		if cl := bm.dramCleaner; cl != nil && p.freeCount() < cl.low {
+			cl.wake(home)
 		}
 		return f, nil
 	}
 	if cl := bm.dramCleaner; cl != nil {
-		cl.wake()
+		cl.wake(home)
 	}
 	var searchStart time.Time
 	for i := 0; ; i++ {
 		if allocExpired(i, &searchStart) {
 			break
 		}
-		if f, ok := p.takeFree(); ok {
+		if f, ok := p.takeFree(ctx); ok {
 			return f, nil
 		}
-		v := int32(p.clock.Victim())
+		// Sweep the home shard's hand first; rotate to the other shards'
+		// hands as attempts accumulate so a fully pinned shard cannot wedge
+		// the search.
+		v := p.victim(home + i)
 		if !p.meta[v].tryFreeze() {
 			backoff(i)
 			continue
@@ -101,9 +105,10 @@ func (bm *BufferManager) fgBatchClean(ctx *Ctx, p *basePool, evict func(*Ctx, in
 	if lim := p.nFrames / 4; steal > lim {
 		steal = lim // tiny pools: don't sweep the whole CLOCK at once
 	}
+	home := p.shardIndexFor(ctx)
 	stolen := 0
-	for attempts := steal * 2; stolen < steal && attempts > 0 && len(p.free) < steal; attempts-- {
-		v := int32(p.clock.Victim())
+	for attempts := steal * 2; stolen < steal && attempts > 0 && p.freeCount() < steal; attempts-- {
+		v := p.victim(home + attempts)
 		if !p.meta[v].tryFreeze() {
 			continue
 		}
@@ -163,7 +168,7 @@ func (bm *BufferManager) evictDRAMFrame(ctx *Ctx, v int32) (bool, error) {
 	m.pid.Store(InvalidPageID)
 	m.dirty.Store(false)
 	m.fg.Store(nil)
-	p.clock.Unref(int(v))
+	p.unref(v)
 	bm.stats.evictDRAM.Inc()
 	if bm.obs != nil {
 		now := ctx.Clock.Now()
@@ -269,7 +274,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 				d.nvmFrame = nf
 				d.unlockMu()
 				bm.nvm.meta[nf].thaw()
-				bm.nvm.clock.Ref(int(nf))
+				bm.nvm.ref(nf)
 				bm.stats.dramToNVM.Inc()
 				bm.emit(ctx, obs.Event{Type: obs.EvAdmit, From: obs.TierDRAM, To: obs.TierNVM, Page: d.pid})
 			}
@@ -342,7 +347,7 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 				d.nvmFrame = nf
 				d.unlockMu()
 				bm.nvm.meta[nf].thaw()
-				bm.nvm.clock.Ref(int(nf))
+				bm.nvm.ref(nf)
 				d.unlockN()
 				bm.stats.dramToNVM.Inc()
 				bm.emit(ctx, obs.Event{Type: obs.EvAdmit, From: obs.TierDRAM, To: obs.TierNVM, Page: d.pid})
@@ -376,7 +381,8 @@ func (bm *BufferManager) writeBackDRAM(ctx *Ctx, d *descriptor, v int32) (bool, 
 // allocMini returns a frozen, clean mini frame.
 func (p *dramPool) allocMini(bm *BufferManager, ctx *Ctx) (int32, error) {
 	mp := p.mini
-	if f, ok := mp.takeFree(); ok {
+	home := mp.shardIndexFor(ctx)
+	if f, ok := mp.takeFree(ctx); ok {
 		return f, nil
 	}
 	var searchStart time.Time
@@ -384,10 +390,10 @@ func (p *dramPool) allocMini(bm *BufferManager, ctx *Ctx) (int32, error) {
 		if allocExpired(i, &searchStart) {
 			break
 		}
-		if f, ok := mp.takeFree(); ok {
+		if f, ok := mp.takeFree(ctx); ok {
 			return f, nil
 		}
-		v := int32(mp.clock.Victim())
+		v := mp.victim(home + i)
 		if !mp.meta[v].tryFreeze() {
 			backoff(i)
 			continue
@@ -486,7 +492,7 @@ func (bm *BufferManager) evictMiniFrame(ctx *Ctx, v int32) (bool, error) {
 	m.pid.Store(InvalidPageID)
 	m.dirty.Store(false)
 	m.fg.Store(nil)
-	mp.clock.Unref(int(v))
+	mp.unref(v)
 	bm.stats.evictMini.Inc()
 	return true, nil
 }
@@ -499,24 +505,25 @@ func (fg *fgState) slotDirtyAny() bool { return fg.slotDirty != 0 }
 // with the DRAM pool, the cleaner-stocked free list is the fast path and the
 // inline eviction loop the fallback.
 func (np *nvmPool) alloc(bm *BufferManager, ctx *Ctx) (int32, error) {
-	if f, ok := np.takeFree(); ok {
-		if cl := bm.nvmCleaner; cl != nil && len(np.free) < cl.low {
-			cl.wake()
+	home := np.shardIndexFor(ctx)
+	if f, ok := np.takeFree(ctx); ok {
+		if cl := bm.nvmCleaner; cl != nil && np.freeCount() < cl.low {
+			cl.wake(home)
 		}
 		return f, nil
 	}
 	if cl := bm.nvmCleaner; cl != nil {
-		cl.wake()
+		cl.wake(home)
 	}
 	var searchStart time.Time
 	for i := 0; ; i++ {
 		if allocExpired(i, &searchStart) {
 			break
 		}
-		if f, ok := np.takeFree(); ok {
+		if f, ok := np.takeFree(ctx); ok {
 			return f, nil
 		}
-		v := int32(np.clock.Victim())
+		v := np.victim(home + i)
 		if !np.meta[v].tryFreeze() {
 			backoff(i)
 			continue
@@ -619,7 +626,7 @@ func (bm *BufferManager) evictNVMFrame(ctx *Ctx, v int32) (bool, error) {
 	m.pid.Store(InvalidPageID)
 	m.dirty.Store(false)
 	m.clAdmit.Store(false)
-	np.clock.Unref(int(v))
+	np.unref(v)
 	bm.stats.evictNVM.Inc()
 	if bm.obs != nil {
 		now := ctx.Clock.Now()

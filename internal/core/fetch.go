@@ -73,7 +73,7 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 		if f := d.dramFrame; f != noFrame {
 			if bm.dram.meta[f].tryPin() {
 				d.unlockMu()
-				bm.dram.clock.Ref(int(f))
+				bm.dram.ref(f)
 				bm.stats.hitDRAM.Inc()
 				return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howHitDRAM}, nil
 			}
@@ -86,7 +86,7 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 			mp := bm.dram.mini
 			if mp.meta[f].tryPin() {
 				d.unlockMu()
-				mp.clock.Ref(int(f))
+				mp.ref(f)
 				bm.stats.hitMini.Inc()
 				return &Handle{bm: bm, d: d, tier: TierMini, frame: f, how: howHitMini}, nil
 			}
@@ -114,7 +114,7 @@ func (bm *BufferManager) fetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle
 			if !migrate {
 				if bm.nvm.meta[f].tryPin() {
 					d.unlockMu()
-					bm.nvm.clock.Ref(int(f))
+					bm.nvm.ref(f)
 					bm.stats.hitNVM.Inc()
 					if bm.nvm.meta[f].clAdmit.Load() {
 						bm.stats.hitNVMCleanerAdmitted.Inc()
@@ -192,7 +192,7 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 			d.dramMini = mf
 			d.unlockMu()
 			mp.meta[mf].pins.Store(1)
-			mp.clock.Ref(int(mf))
+			mp.ref(mf)
 			bm.stats.migNVMToDRAM.Inc()
 			return &Handle{bm: bm, d: d, tier: TierMini, frame: mf, how: howMigrated}, nil
 		}
@@ -210,7 +210,7 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 		d.dramFrame = f
 		d.unlockMu()
 		bm.dram.meta[f].pins.Store(1)
-		bm.dram.clock.Ref(int(f))
+		bm.dram.ref(f)
 		bm.stats.migNVMToDRAM.Inc()
 		return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howMigrated}, nil
 	}
@@ -240,7 +240,7 @@ func (bm *BufferManager) migrateUp(ctx *Ctx, d *descriptor) (*Handle, error) {
 	d.dramFrame = f
 	d.unlockMu()
 	bm.dram.meta[f].pins.Store(1)
-	bm.dram.clock.Ref(int(f))
+	bm.dram.ref(f)
 	bm.stats.migNVMToDRAM.Inc()
 	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howMigrated}, nil
 }
@@ -291,7 +291,7 @@ func (bm *BufferManager) fetchMiss(ctx *Ctx, d *descriptor, pol *policy.Policy) 
 	d.dramFrame = f
 	d.unlockMu()
 	bm.dram.meta[f].pins.Store(1)
-	bm.dram.clock.Ref(int(f))
+	bm.dram.ref(f)
 	bm.stats.ssdToDRAM.Inc()
 	return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f, how: howMissDRAM}, nil
 }
@@ -329,7 +329,7 @@ func (bm *BufferManager) fetchMissNVM(ctx *Ctx, d *descriptor) (*Handle, error) 
 	d.nvmFrame = nf
 	d.unlockMu()
 	bm.nvm.meta[nf].pins.Store(1)
-	bm.nvm.clock.Ref(int(nf))
+	bm.nvm.ref(nf)
 	bm.stats.ssdToNVM.Inc()
 	return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf, how: howMissNVM}, nil
 }
@@ -373,7 +373,7 @@ func (bm *BufferManager) materialize(ctx *Ctx, pid PageID) (*Handle, error) {
 		d.dramFrame = f
 		d.unlockMu()
 		bm.dram.meta[f].pins.Store(1)
-		bm.dram.clock.Ref(int(f))
+		bm.dram.ref(f)
 		return &Handle{bm: bm, d: d, tier: TierDRAM, frame: f}, nil
 	}
 
@@ -398,7 +398,7 @@ func (bm *BufferManager) materialize(ctx *Ctx, pid PageID) (*Handle, error) {
 	d.nvmFrame = nf
 	d.unlockMu()
 	bm.nvm.meta[nf].pins.Store(1)
-	bm.nvm.clock.Ref(int(nf))
+	bm.nvm.ref(nf)
 	return &Handle{bm: bm, d: d, tier: TierNVM, frame: nf}, nil
 }
 

@@ -407,7 +407,7 @@ func (h *Handle) promoteMini(ctx *Ctx) bool {
 	h.d.unlockMu()
 
 	h.bm.dram.meta[f].pins.Store(1) // transfer our pin to the full frame
-	h.bm.dram.clock.Ref(int(f))
+	h.bm.dram.ref(f)
 	mp.release(old)
 	h.tier = TierDRAM
 	h.frame = f

@@ -4,9 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"sync/atomic"
 
 	"github.com/spitfire-db/spitfire/internal/bitmapclock"
+	"github.com/spitfire-db/spitfire/internal/lockcheck"
 	"github.com/spitfire-db/spitfire/internal/pmem"
 	"github.com/spitfire-db/spitfire/internal/vclock"
 )
@@ -82,48 +84,215 @@ func newReplacer(nFrames, weight int) replacer {
 	return bitmapclock.New(nFrames)
 }
 
-// basePool holds the bookkeeping shared by the DRAM and NVM pools.
+// maxPoolShards caps a pool's shard count (mirroring wal.MaxShards).
+const maxPoolShards = 64
+
+// normalizePoolShards clamps a configured shard count so every shard owns at
+// least two frames: tiny test pools degrade gracefully to fewer (or one)
+// shard instead of spreading a handful of frames across empty partitions.
+func normalizePoolShards(shards, nFrames int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxPoolShards {
+		shards = maxPoolShards
+	}
+	if lim := nFrames / 2; shards > lim {
+		shards = lim
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// poolShard is one shard of a pool's replacement state: a private CLOCK (or
+// GCLOCK) hand over the contiguous frame partition [lo, hi) and a free-frame
+// stack. The mutex guards only the stack; the clock is lock-free on its own.
+//
+// The shard mutex has lockcheck rank RankBMShard: a strict leaf that may be
+// taken under tier latches (allocation runs under latchD/latchN) but admits
+// nothing under it — work-stealing drops one shard's mutex before probing
+// the next, so two shard mutexes are never held together.
+type poolShard struct {
+	mu    sync.Mutex
+	free  []int32 // frozen frames, LIFO
+	freeN atomic.Int32
+
+	lo, hi int32    // this shard's frame partition [lo, hi)
+	clock  replacer // over hi-lo shard-local frame indices
+
+	_ [64]byte // pad shards onto separate cache lines
+}
+
+// basePool holds the bookkeeping shared by the DRAM and NVM pools. Frames
+// are partitioned contiguously across shards; each shard has its own CLOCK
+// hand and free-frame stack, and workers are pinned to shards by their
+// virtual clock (the same worker-affinity trick as the WAL's append shards).
 type basePool struct {
 	nFrames int
 	meta    []frameMeta
-	clock   replacer
-	free    chan int32
+	shards  []poolShard
+	per     int // frames per shard (last shard absorbs the remainder)
+
+	// freeLen approximates the total free-frame count across shards; it is
+	// maintained outside the shard mutexes, so watermark checks read one
+	// atomic instead of sweeping every shard.
+	freeLen atomic.Int64
+
+	// steals counts free-list pops served by a non-home shard.
+	steals atomic.Uint64
+
+	// affinity pins each worker clock to a shard; rr deals shards
+	// round-robin to clocks seen for the first time.
+	affinity sync.Map // *vclock.Clock -> int
+	rr       atomic.Uint64
 }
 
-func newBasePool(nFrames, clockWeight int) basePool {
-	p := basePool{
-		nFrames: nFrames,
-		meta:    make([]frameMeta, nFrames),
-		clock:   newReplacer(nFrames, clockWeight),
-		free:    make(chan int32, nFrames),
+// init populates a freshly allocated (embedded) basePool in place — the
+// struct holds atomics and a sync.Map, so it must never be copied.
+func (p *basePool) init(nFrames, clockWeight, shards int) {
+	shards = normalizePoolShards(shards, nFrames)
+	ranges := bitmapclock.Ranges(nFrames, shards)
+	p.nFrames = nFrames
+	p.meta = make([]frameMeta, nFrames)
+	p.shards = make([]poolShard, shards)
+	p.per = nFrames / shards
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.lo, sh.hi = int32(ranges[si][0]), int32(ranges[si][1])
+		sh.clock = newReplacer(int(sh.hi-sh.lo), clockWeight)
+		sh.free = make([]int32, 0, sh.hi-sh.lo)
+		// Push descending so low frame indices pop first.
+		for f := sh.hi - 1; f >= sh.lo; f-- {
+			sh.free = append(sh.free, f)
+		}
+		sh.freeN.Store(int32(len(sh.free)))
 	}
 	for i := range p.meta {
 		p.meta[i].pid.Store(InvalidPageID)
 		p.meta[i].pins.Store(-1) // free frames are frozen
-		p.free <- int32(i)
 	}
-	return p
+	p.freeLen.Store(int64(nFrames))
 }
 
-// takeFree pops a frame from the free list, if any. The frame is frozen.
-func (p *basePool) takeFree() (int32, bool) {
-	select {
-	case f := <-p.free:
+// shardOf maps a frame index to its home shard (partitions are contiguous,
+// so this is one division; the last shard absorbs the remainder).
+func (p *basePool) shardOf(f int32) *poolShard {
+	si := int(f) / p.per
+	if si >= len(p.shards) {
+		si = len(p.shards) - 1
+	}
+	return &p.shards[si]
+}
+
+// shardIndexFor returns the worker's home shard. Clocks are dealt to shards
+// round-robin on first use and stay pinned, so a worker's allocations,
+// releases and CLOCK sweeps concentrate on one shard's cache lines.
+func (p *basePool) shardIndexFor(ctx *Ctx) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	if v, ok := p.affinity.Load(ctx.Clock); ok {
+		return v.(int)
+	}
+	i := int((p.rr.Add(1) - 1) % uint64(len(p.shards)))
+	v, _ := p.affinity.LoadOrStore(ctx.Clock, i)
+	return v.(int)
+}
+
+// lockShard and unlockShard route the shard free-list mutex through the
+// lockcheck shims so the -tags lockcheck build sees RankBMShard as a leaf.
+func (p *basePool) lockShard(sh *poolShard) {
+	lockcheck.Acquire(sh, lockcheck.RankBMShard)
+	sh.mu.Lock()
+}
+
+func (p *basePool) unlockShard(sh *poolShard) {
+	sh.mu.Unlock()
+	lockcheck.Release(sh, lockcheck.RankBMShard)
+}
+
+// freeCount approximates the pool-wide free-list depth (watermarks and
+// gauges only; never an invariant).
+func (p *basePool) freeCount() int { return int(p.freeLen.Load()) }
+
+// takeFree pops a frame from the caller's home shard, stealing from the
+// other shards in wrap order when it runs dry. The frame is frozen. Only one
+// shard mutex is ever held at a time.
+func (p *basePool) takeFree(ctx *Ctx) (int32, bool) {
+	home := p.shardIndexFor(ctx)
+	n := len(p.shards)
+	for k := 0; k < n; k++ {
+		sh := &p.shards[(home+k)%n]
+		if sh.freeN.Load() == 0 {
+			continue // empty at a glance; steal onward without locking
+		}
+		p.lockShard(sh)
+		if len(sh.free) == 0 {
+			p.unlockShard(sh)
+			continue
+		}
+		f := sh.free[len(sh.free)-1]
+		sh.free = sh.free[:len(sh.free)-1]
+		sh.freeN.Store(int32(len(sh.free)))
+		p.unlockShard(sh)
+		p.freeLen.Add(-1)
+		if k > 0 {
+			p.steals.Add(1)
+		}
 		return f, true
-	default:
-		return noFrame, false
 	}
+	return noFrame, false
 }
 
-// release returns a frozen frame to the free list.
+// victim picks a CLOCK victim from the given shard, returning a pool-global
+// frame index. Victim selection itself is lock-free.
+func (p *basePool) victim(si int) int32 {
+	sh := &p.shards[si%len(p.shards)]
+	return sh.lo + int32(sh.clock.Victim())
+}
+
+// ref, unref and referenced route a frame's reference bit to its home
+// shard's CLOCK instance.
+func (p *basePool) ref(f int32) {
+	sh := p.shardOf(f)
+	sh.clock.Ref(int(f - sh.lo))
+}
+
+func (p *basePool) unref(f int32) {
+	sh := p.shardOf(f)
+	sh.clock.Unref(int(f - sh.lo))
+}
+
+func (p *basePool) referenced(f int32) bool {
+	sh := p.shardOf(f)
+	return sh.clock.Referenced(int(f - sh.lo))
+}
+
+// release returns a frozen frame to its home shard's free list. The freeze
+// invariant is asserted in debug builds: a frame entering a free list with
+// pins != -1 could be surfaced thawed by a cross-shard steal.
 func (p *basePool) release(f int32) {
 	p.meta[f].pid.Store(InvalidPageID)
 	p.meta[f].dirty.Store(false)
 	p.meta[f].fg.Store(nil)
 	p.meta[f].clAdmit.Store(false)
-	p.clock.Unref(int(f))
-	p.free <- f
+	if lockcheck.Enabled && p.meta[f].pins.Load() != -1 {
+		panic(fmt.Sprintf("core: frame %d pushed to free list with pins=%d, want -1 (frozen)",
+			f, p.meta[f].pins.Load()))
+	}
+	sh := p.shardOf(f)
+	sh.clock.Unref(int(f - sh.lo))
+	p.lockShard(sh)
+	sh.free = append(sh.free, f)
+	sh.freeN.Store(int32(len(sh.free)))
+	p.unlockShard(sh)
+	p.freeLen.Add(1)
 }
+
+// Steals reports how many free-list pops were served by a non-home shard.
+func (p *basePool) Steals() uint64 { return p.steals.Load() }
 
 // dramPool is the DRAM buffer: a plain arena priced by a MemCharger.
 // When mini pages are enabled a slice of the budget is carved into mini
@@ -156,10 +325,10 @@ func newDRAMPool(cfg Config, charge MemCharger) (*dramPool, error) {
 		return nil, fmt.Errorf("core: DRAM buffer of %d bytes holds no %d-byte page", cfg.DRAMBytes, PageSize)
 	}
 	dp := &dramPool{
-		basePool: newBasePool(nFrames, cfg.ClockWeight),
-		arena:    make([]byte, int64(nFrames)*PageSize),
-		charge:   charge,
+		arena:  make([]byte, int64(nFrames)*PageSize),
+		charge: charge,
 	}
+	dp.basePool.init(nFrames, cfg.ClockWeight, cfg.Shards)
 	if cfg.MiniPages {
 		slotSize := miniSlots * cfg.LoadingUnit
 		nMini := int(miniBudget / int64(slotSize))
@@ -167,11 +336,11 @@ func newDRAMPool(cfg Config, charge MemCharger) (*dramPool, error) {
 			nMini = 1
 		}
 		dp.mini = &miniPool{
-			basePool: newBasePool(nMini, cfg.ClockWeight),
 			arena:    make([]byte, nMini*slotSize),
 			unit:     cfg.LoadingUnit,
 			slotSize: slotSize,
 		}
+		dp.mini.basePool.init(nMini, cfg.ClockWeight, cfg.Shards)
 	}
 	return dp, nil
 }
@@ -213,7 +382,9 @@ func newNVMPool(cfg Config) (*nvmPool, error) {
 			return nil, fmt.Errorf("core: provided pmem arena of %d bytes holds no frame", pm.Size())
 		}
 	}
-	return &nvmPool{basePool: newBasePool(nFrames, cfg.ClockWeight), pm: pm}, nil
+	np := &nvmPool{pm: pm}
+	np.basePool.init(nFrames, cfg.ClockWeight, cfg.Shards)
+	return np, nil
 }
 
 // payloadOffset is the arena offset of frame i's page payload.

@@ -33,15 +33,17 @@ func Recover(cfg Config) (*BufferManager, error) {
 		return nil, errors.New("core: Recover requires an NVM tier")
 	}
 
-	// Drain the free list so we can re-seed it with only the frames that
-	// are actually free.
+	ctx := NewCtx(0)
+
+	// Drain the free lists so we can re-seed them with only the frames that
+	// are actually free. takeFree sweeps every shard, so draining until it
+	// fails empties all of them.
 	for {
-		if _, ok := np.takeFree(); !ok {
+		if _, ok := np.takeFree(ctx); !ok {
 			break
 		}
 	}
 
-	ctx := NewCtx(0)
 	maxPID := PageID(0)
 	seen := make(map[PageID]int32)
 	for i := 0; i < np.nFrames; i++ {
@@ -52,7 +54,7 @@ func Recover(cfg Config) (*BufferManager, error) {
 		if !valid {
 			np.meta[f].pid.Store(InvalidPageID)
 			np.meta[f].pins.Store(-1)
-			np.free <- f
+			np.release(f)
 			continue
 		}
 		if dup, ok := seen[pid]; ok {
@@ -68,7 +70,7 @@ func Recover(cfg Config) (*BufferManager, error) {
 			}
 			np.meta[f].pid.Store(InvalidPageID)
 			np.meta[f].pins.Store(-1)
-			np.free <- f
+			np.release(f)
 			continue
 		}
 		seen[pid] = f

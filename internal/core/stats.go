@@ -84,13 +84,29 @@ type Stats struct {
 	// pages.
 	CleanerAdmittedNVM    int64
 	HitNVMCleanerAdmitted int64
+
+	// Sharded free-list activity: allocations that could not pop their home
+	// shard's free list and stole a frame from another shard instead. A high
+	// steal rate relative to allocations means the shard count outstrips the
+	// worker count (or affinity churns) and frames slosh between shards.
+	DRAMFreeSteals int64
+	NVMFreeSteals  int64
 }
 
 // Stats snapshots the manager's counters.
 func (bm *BufferManager) Stats() Stats {
 	s := &bm.stats
+	var dramSteals, nvmSteals int64
+	if bm.dram != nil {
+		dramSteals = int64(bm.dram.Steals())
+	}
+	if bm.nvm != nil {
+		nvmSteals = int64(bm.nvm.Steals())
+	}
 	return Stats{
-		HitDRAM: s.hitDRAM.Load(), HitMini: s.hitMini.Load(),
+		DRAMFreeSteals: dramSteals,
+		NVMFreeSteals:  nvmSteals,
+		HitDRAM:        s.hitDRAM.Load(), HitMini: s.hitMini.Load(),
 		HitNVM: s.hitNVM.Load(), MissSSD: s.missSSD.Load(),
 		NVMToDRAM: s.migNVMToDRAM.Load(),
 		SSDToDRAM: s.ssdToDRAM.Load(), SSDToNVM: s.ssdToNVM.Load(),
@@ -151,7 +167,7 @@ type PoolGauges struct {
 // poolGauges scans a pool's frame metadata. The scan is racy by design —
 // gauges are monitoring data, not invariants — but every load is atomic.
 func poolGauges(p *basePool) (free, used, dirty int) {
-	free = len(p.free)
+	free = p.freeCount()
 	for i := range p.meta {
 		if p.meta[i].pid.Load() == InvalidPageID {
 			continue

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/device"
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/policy"
+	"github.com/spitfire-db/spitfire/internal/ssd"
+	"github.com/spitfire-db/spitfire/internal/wal"
+)
+
+// TestCheckpointSurvivesTransientFaults drives db.Checkpoint through each of
+// its three device-touching legs with transient write faults armed: the
+// dirty-DRAM write-back (NVM arena + SSD), then the WAL flush/truncate
+// against the log store. Every fault must surface as device.ErrTransient —
+// never as corruption or a panic — and once the injectors clear, a retried
+// checkpoint must succeed, truncate the log, and leave a state that survives
+// a crash.
+func TestCheckpointSurvivesTransientFaults(t *testing.T) {
+	nvmDev := device.New(device.NVMParams)
+	dataInj := device.NewInjector(device.FaultConfig{Seed: 0x2A1})
+	nvmDev.SetFaults(dataInj)
+	dataArena := pmem.New(pmem.Options{Size: 16 * (core.PageSize + 64), TrackCrashes: true, Device: nvmDev})
+
+	ssdDev := device.New(device.SSDParams)
+	ssdInj := device.NewInjector(device.FaultConfig{Seed: 0x2A2})
+	ssdDev.SetFaults(ssdInj)
+	disk := ssd.NewMem(ssdDev)
+
+	logDev := device.New(device.SSDParams)
+	logInj := device.NewInjector(device.FaultConfig{Seed: 0x2A3})
+	logDev.SetFaults(logInj)
+	logStore := wal.NewMemLog(logDev)
+	logArena := pmem.New(pmem.Options{Size: 1 << 17, TrackCrashes: true})
+
+	bm, err := core.New(core.Config{
+		DRAMBytes: 4 * core.PageSize, NVMBytes: dataArena.Size(),
+		Policy: policy.SpitfireLazy, PMem: dataArena, SSD: disk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wal.New(wal.Options{Buffer: logArena, Store: logStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(Options{BM: bm, WAL: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(1, "kv", testTupleSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newCtx(0x2A1)
+	if err := tb.Load(ctx, 8, func(i uint64, p []byte) uint64 { p[9] = 1; return i }); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 8; k++ {
+		txn := db.Begin()
+		if err := tb.Update(ctx, txn, k, payloadFor(k, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Leg 1: every data-path write (NVM arena and SSD) fails, so the
+	// dirty-DRAM flush exhausts its retry budget before the WAL is touched.
+	dataInj.Rearm(device.FaultConfig{Seed: 0x2B1, WriteErrProb: 1})
+	ssdInj.Rearm(device.FaultConfig{Seed: 0x2B2, WriteErrProb: 1})
+	if _, err := db.Checkpoint(ctx); err == nil {
+		t.Fatal("checkpoint succeeded with all data-path writes faulting")
+	} else if !errors.Is(err, device.ErrTransient) {
+		t.Fatalf("data-path fault surfaced as %v, want device.ErrTransient", err)
+	}
+
+	// Leg 2: data path clean, log store faulting. The flush leg now
+	// completes and the WAL flush/truncate must report the fault.
+	dataInj.Rearm(device.FaultConfig{Seed: 0x2B1})
+	ssdInj.Rearm(device.FaultConfig{Seed: 0x2B2})
+	logInj.Rearm(device.FaultConfig{Seed: 0x2B3, WriteErrProb: 1})
+	if _, err := db.Checkpoint(ctx); err == nil {
+		t.Fatal("checkpoint succeeded with log-store writes faulting")
+	} else if !errors.Is(err, device.ErrTransient) {
+		t.Fatalf("log-store fault surfaced as %v, want device.ErrTransient", err)
+	}
+
+	// Clean retry: the checkpoint must now complete quiescently and
+	// truncate the log down to (at most) the checkpoint record.
+	logInj.Rearm(device.FaultConfig{Seed: 0x2B3})
+	skipped, err := db.Checkpoint(ctx)
+	if err != nil {
+		t.Fatalf("clean checkpoint after faults cleared: %v", err)
+	}
+	if skipped != 0 {
+		t.Fatalf("quiescent checkpoint skipped %d pages", skipped)
+	}
+	if err := w.Flush(ctx.Clock); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := logStore.ReadAll(ctx.Clock)
+	if len(raw) > 256 {
+		t.Fatalf("log holds %d bytes after checkpoint; truncation failed", len(raw))
+	}
+
+	// Crash and recover purely from pages: the failed checkpoint attempts
+	// must not have corrupted anything the clean one depends on.
+	dataArena.Crash()
+	logArena.Crash()
+	bm2, err := core.Recover(core.Config{
+		DRAMBytes: 4 * core.PageSize, NVMBytes: dataArena.Size(),
+		Policy: policy.SpitfireLazy, PMem: dataArena, SSD: disk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := NewRecoveryCtx()
+	db2, rl, err := Recover(rctx, RecoverOptions{
+		BM:     bm2,
+		WAL:    wal.Options{Buffer: logArena, Store: logStore},
+		Schema: []TableDef{{ID: 1, Name: "kv", TupleSize: testTupleSize}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rl.Losers) != 0 {
+		t.Fatalf("losers after checkpointed crash: %v", rl.Losers)
+	}
+	check := db2.Begin()
+	buf := make([]byte, testTupleSize)
+	for k := uint64(0); k < 8; k++ {
+		if err := db2.Table(1).Read(rctx, check, k, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[9] != 3 {
+			t.Fatalf("key %d lost checkpointed update: version %d", k, buf[9])
+		}
+	}
+	check.Commit(rctx)
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/core"
+	"github.com/spitfire-db/spitfire/internal/device"
+	"github.com/spitfire-db/spitfire/internal/pmem"
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// TestSecondaryMaintenanceSurvivesTransientNVMFaults hammers the secondary
+// index maintenance paths (insert, key-moving update, delete, and the abort
+// undo) against a buffer manager whose NVM arena injects transient read
+// faults. Operations that hit the fault must surface device.ErrTransient and
+// abort cleanly; whatever the outcome, the secondary index must stay exactly
+// consistent with the committed base-table state once the injector clears.
+func TestSecondaryMaintenanceSurvivesTransientNVMFaults(t *testing.T) {
+	const keys = 300
+
+	nvmDev := device.New(device.NVMParams)
+	inj := device.NewInjector(device.FaultConfig{Seed: 0x35C})
+	nvmDev.SetFaults(inj)
+	const nvmBytes = 256 * core.PageSize
+	bm, err := core.New(core.Config{
+		DRAMBytes: 2 * core.PageSize,
+		NVMBytes:  nvmBytes,
+		Policy:    policy.SpitfireEager,
+		PMem:      pmem.New(pmem.Options{Size: nvmBytes, Device: nvmDev}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bm.Close()
+	db, err := Open(Options{BM: bm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(1, "people", testTupleSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived key: the payload's leading uint64, kept globally unique below.
+	ix, err := AddSecondaryIndex(tb, "by-val", func(_ uint64, payload []byte) uint64 {
+		return binary.LittleEndian.Uint64(payload)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := newCtx(0x35C)
+	if err := tb.Load(ctx, keys, func(i uint64, p []byte) uint64 {
+		binary.LittleEndian.PutUint64(p, i)
+		return i
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	valPayload := func(v uint64) []byte {
+		p := make([]byte, testTupleSize)
+		binary.LittleEndian.PutUint64(p, v)
+		return p
+	}
+
+	// model maps committed primary keys to their derived value; live keeps
+	// them in a slice so the RNG picks targets without map-range order.
+	model := map[uint64]uint64{}
+	var live []uint64
+	for k := uint64(0); k < keys; k++ {
+		model[k] = k
+		live = append(live, k)
+	}
+	nextVal := uint64(1 << 20) // fresh derived values, disjoint from loads
+	nextKey := uint64(keys)
+
+	faulty := device.FaultConfig{Seed: 0x35D, ReadErrProb: 1}
+	clean := device.FaultConfig{Seed: 0x35D}
+	rng := ctx.RNG
+	sawTransient := false
+	committed := [3]int{} // per-op commit counts: update, insert, delete
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			inj.Rearm(faulty)
+		} else {
+			inj.Rearm(clean)
+		}
+		op := rng.Intn(3)
+		txn := db.Begin()
+		var opErr error
+		var k, v uint64
+		var li int
+		switch op {
+		case 0: // update: move the derived key
+			li = rng.Intn(len(live))
+			k, v = live[li], nextVal
+			opErr = tb.Update(ctx, txn, k, valPayload(v))
+		case 1: // insert a fresh primary with a fresh derived key
+			k, v = nextKey, nextVal
+			opErr = tb.Insert(ctx, txn, k, valPayload(v))
+		case 2: // delete (secondary entry drops at commit)
+			li = rng.Intn(len(live))
+			k = live[li]
+			opErr = tb.Delete(ctx, txn, k)
+		}
+		if opErr != nil {
+			if !errors.Is(opErr, device.ErrTransient) {
+				t.Fatalf("op %d iter %d: fault surfaced as %v, want device.ErrTransient", op, i, opErr)
+			}
+			sawTransient = true
+			// The abort undo re-fetches pages, so run it with the injector
+			// quiet: abort-under-fault returns an error and leaves the undo
+			// pending, which is out of scope here.
+			inj.Rearm(clean)
+			if err := txn.Abort(ctx); err != nil {
+				t.Fatalf("abort after transient fault: %v", err)
+			}
+			continue
+		}
+		if err := txn.Commit(ctx); err != nil {
+			t.Fatalf("commit op %d iter %d: %v", op, i, err)
+		}
+		committed[op]++
+		switch op {
+		case 0:
+			model[k] = v
+			nextVal++
+		case 1:
+			model[k] = v
+			live = append(live, k)
+			nextKey++
+			nextVal++
+		case 2:
+			delete(model, k)
+			live[li] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if !sawTransient {
+		t.Fatal("no operation hit an injected fault; geometry no longer exercises the fault path")
+	}
+	for op, n := range committed {
+		if n == 0 {
+			t.Fatalf("op %d never committed; mixed-phase schedule lost coverage", op)
+		}
+	}
+
+	// Clean phase: the secondary index must mirror the committed state
+	// exactly — same cardinality, every model entry resolvable both ways,
+	// and no dangling entries pointing at dead or rewritten rows.
+	inj.Rearm(clean)
+	if ix.Len() != len(model) {
+		t.Fatalf("secondary holds %d entries, committed state has %d", ix.Len(), len(model))
+	}
+	buf := make([]byte, testTupleSize)
+	for k, v := range model {
+		primary, ok := ix.Lookup(v)
+		if !ok || primary != k {
+			t.Fatalf("Lookup(%d) = %d, %v; want %d", v, primary, ok, k)
+		}
+		txn := db.Begin()
+		err := tb.Read(ctx, txn, k, buf)
+		txn.Commit(ctx)
+		if err != nil {
+			t.Fatalf("read key %d after faults cleared: %v", k, err)
+		}
+		if got := binary.LittleEndian.Uint64(buf); got != v {
+			t.Fatalf("key %d payload value %d, want %d", k, got, v)
+		}
+	}
+	seen := 0
+	ix.Scan(0, func(v uint64, primary uint64) bool {
+		seen++
+		if model[primary] != v {
+			t.Fatalf("dangling secondary entry %d -> %d (model has %d)", v, primary, model[primary])
+		}
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("scan visited %d entries, want %d", seen, len(model))
+	}
+}

@@ -27,6 +27,11 @@
 //     shard while holding RankWALFlush: shard→shard acquisitions are legal
 //     only under flushMu (where the flusher takes them in index order).
 //  6. Under RankWALFlush only RankWALShard may be acquired.
+//  7. RankBMShard (a buffer-pool shard's free-list mutex) is a strict leaf:
+//     it may be taken under tier latches (allocation runs under latchD or
+//     latchN) but nothing — not even another pool shard — may be acquired
+//     while it is held. Work-stealing therefore drops one shard's mutex
+//     before probing the next.
 package lockcheck
 
 import (
@@ -48,6 +53,7 @@ const (
 	RankFg       = 5
 	RankWALShard = 6
 	RankWALFlush = 7
+	RankBMShard  = 8
 )
 
 // Enabled reports whether the checker is compiled in.
@@ -69,6 +75,8 @@ func rankName(r int) string {
 		return "wal.shard"
 	case RankWALFlush:
 		return "wal.flushMu"
+	case RankBMShard:
+		return "pool.shard"
 	}
 	return "rank?"
 }
@@ -162,6 +170,9 @@ func check(obj any, rank int, blocking bool) {
 		switch {
 		case h.rank == RankMu:
 			fail(h, "lockcheck: acquiring %s(%p) while mu(%p) is held — mu is a leaf lock, acquire nothing under it",
+				rankName(rank), obj, h.obj)
+		case h.rank == RankBMShard:
+			fail(h, "lockcheck: acquiring %s(%p) while pool.shard(%p) is held — a pool shard's free-list mutex is a strict leaf (steal by dropping one shard before probing the next)",
 				rankName(rank), obj, h.obj)
 		case h.rank == RankFg && rank == RankMu:
 			// descriptor.mu under fg.mu: the fine-grained load path pins the

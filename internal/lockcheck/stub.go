@@ -13,6 +13,7 @@ const (
 	RankFg       = 5
 	RankWALShard = 6
 	RankWALFlush = 7
+	RankBMShard  = 8
 )
 
 // Enabled reports whether the checker is compiled in.

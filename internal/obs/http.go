@@ -88,7 +88,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
 // interval between the two scrapes, plus derived hit rates.
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	now := time.Now() //vet:allow determinism scrape-interval rates are wall-clock by definition
+	now := time.Now() //vet:allow determinism handleSnapshot scrape-interval rates are wall-clock by definition
 
 	var counters, gauges []Sample
 	if src := s.obs.getSource(); src != nil {
@@ -265,7 +265,7 @@ func (o *Obs) StartProgress(w io.Writer, interval time.Duration) (stop func()) {
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		prev := map[string]int64{}
-		last := time.Now() //vet:allow determinism live-metrics pacing is wall-clock exposition
+		last := time.Now() //vet:allow determinism StartProgress pacing is wall-clock exposition
 		for {
 			select {
 			case <-done:
@@ -276,7 +276,7 @@ func (o *Obs) StartProgress(w io.Writer, interval time.Duration) (stop func()) {
 			if src == nil {
 				continue
 			}
-			now := time.Now() //vet:allow determinism live-metrics pacing is wall-clock exposition
+			now := time.Now() //vet:allow determinism StartProgress pacing is wall-clock exposition
 			dt := now.Sub(last).Seconds()
 			last = now
 			counters := src.ObsCounters()

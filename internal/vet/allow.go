@@ -13,6 +13,7 @@ type allowDirective struct {
 	reason string
 	line   int
 	file   string
+	pos    token.Pos
 }
 
 // parseAllows extracts every //vet:allow directive from a file, reporting a
@@ -42,6 +43,7 @@ func parseAllows(fset *token.FileSet, f *ast.File, report func(pos token.Pos, ch
 				reason: strings.Join(fields[1:], " "),
 				line:   pos.Line,
 				file:   pos.Filename,
+				pos:    c.Pos(),
 			})
 		}
 	}

@@ -1,0 +1,111 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkAllowLive verifies that every //vet:allow directive's reason is
+// anchored to the code it excuses: at least one identifier-like token of
+// the reason must name a symbol declared in the same package (a top-level
+// func or method, type, const, var, or a field of a top-level struct).
+//
+// Suppression reasons rot silently — "allocDeadline is a host-side bound"
+// stops meaning anything the day allocDeadline is renamed, and nothing
+// forces the stale comment to follow. Anchoring the reason to a live
+// symbol makes the rot visible: rename or delete the symbol and the
+// directive's reason fails this check until it is rewritten against the
+// code that actually exists.
+func checkAllowLive(p *pass) {
+	names := declaredNames(p.unit.files)
+	// Malformed directives are already reported by applyAllows; stay quiet
+	// about them here.
+	discard := func(pos token.Pos, check, format string, args ...any) {}
+	for _, f := range p.unit.files {
+		for _, d := range parseAllows(p.fset, f, discard) {
+			if reasonNamesLive(d.reason, names) {
+				continue
+			}
+			p.report(d.pos, "allowlive",
+				"//vet:allow %s reason names no symbol declared in this package (anchor the reason to a live identifier, e.g. the deadline var or function it excuses)",
+				d.check)
+		}
+	}
+}
+
+// declaredNames collects the package's top-level identifiers: functions and
+// methods, types (plus their struct field names), consts and vars. Local
+// variables are deliberately excluded — a reason should cite the durable
+// symbol the exemption is about, not a loop temporary.
+func declaredNames(files []*ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				names[d.Name.Name] = true
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						names[s.Name.Name] = true
+						if st, ok := s.Type.(*ast.StructType); ok {
+							for _, fld := range st.Fields.List {
+								for _, n := range fld.Names {
+									names[n.Name] = true
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							names[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// reasonNamesLive reports whether any identifier-like token of the reason
+// matches a declared name. Matching is case-sensitive: "clock" in prose
+// does not accidentally satisfy a Clock type.
+func reasonNamesLive(reason string, names map[string]bool) bool {
+	for _, tok := range identTokens(reason) {
+		if names[tok] {
+			return true
+		}
+	}
+	return false
+}
+
+// identTokens splits free text into maximal identifier-shaped runs
+// ([A-Za-z_][A-Za-z0-9_]*), so "allocDeadline is host-side" yields
+// {"allocDeadline", "is", "host", "side"}.
+func identTokens(s string) []string {
+	var out []string
+	start := -1
+	isIdent := func(c byte, first bool) bool {
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+			return true
+		case c >= '0' && c <= '9':
+			return !first
+		}
+		return false
+	}
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && isIdent(s[i], start < 0) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	return out
+}

@@ -24,6 +24,11 @@ import (
 //     acquisitions are legal only while the WAL's flushMu is held (the
 //     combining flusher draining shards in index order).
 //  6. Under flushMu only shard mutexes may be acquired.
+//  7. A buffer-pool shard's free-list mutex (poolShard.mu) is a strict
+//     leaf: taking it under tier latches is the normal allocation order,
+//     but nothing — not even another pool shard's mutex — may be acquired
+//     while one is held. Work-stealing drops the dry shard's mutex before
+//     probing the next shard.
 //
 // The analysis is intra-function: it simulates the held-latch set over each
 // function body, recognizing both the raw field forms (d.latchN.Lock(),
@@ -55,6 +60,7 @@ const (
 	rankFg       = 5
 	rankWALShard = 6
 	rankWALFlush = 7
+	rankBMShard  = 8
 )
 
 func rankName(r int) string {
@@ -73,6 +79,8 @@ func rankName(r int) string {
 		return "shard.mu"
 	case rankWALFlush:
 		return "flushMu"
+	case rankBMShard:
+		return "pool.shard"
 	}
 	return "?"
 }
@@ -329,6 +337,18 @@ func (w *latchWalker) apply(op latchOp, pos token.Pos) {
 		}
 	}
 
+	// Rule 7 (BM pool shards): a pool shard's free-list mutex is a strict
+	// leaf — nothing may be acquired while one is held (work-stealing drops
+	// the dry shard before probing the next).
+	for heldBase, rs := range w.held {
+		if rs[rankBMShard] {
+			w.pass.report(pos, "latchorder",
+				"acquiring %s.%s while %s (a buffer-pool shard mutex) is held (pool shards are strict leaves: drop one shard before probing the next)",
+				base, rankName(op.rank), heldBase)
+			break
+		}
+	}
+
 	// Rules 5 and 6 (WAL order): a shard mutex is a leaf on the append path —
 	// shard→shard only under flushMu (the combining flusher) — and flushMu
 	// admits nothing but shard mutexes under it.
@@ -512,6 +532,8 @@ func (p *pass) latchCall(call *ast.CallExpr) (latchOp, bool) {
 			return latchOp{base: inner.X, rank: rankFg, kind: kind}, true
 		case inner.Sel.Name == "mu" && p.isWALShardType(baseT):
 			return latchOp{base: inner.X, rank: rankWALShard, kind: kind}, true
+		case inner.Sel.Name == "mu" && p.isBMShardType(baseT):
+			return latchOp{base: inner.X, rank: rankBMShard, kind: kind}, true
 		case inner.Sel.Name == "flushMu" && p.isWALManagerType(baseT):
 			return latchOp{base: inner.X, rank: rankWALFlush, kind: kind}, true
 		}
@@ -535,15 +557,23 @@ func (p *pass) latchCall(call *ast.CallExpr) (latchOp, bool) {
 		return latchOp{}, false
 	}
 
-	// WAL shim forms on a manager-shaped receiver. The shard shims carry the
-	// shard as an argument, so the *argument* is the latch's base.
+	// Shard shim forms carry the shard as an argument, so the *argument* is
+	// the latch's base. The receiver's shape picks the rank: a WAL manager
+	// (flushMu) routes to the WAL shard rank, a buffer pool (shards +
+	// freeLen) to the pool shard rank.
 	if name == "lockShard" || name == "unlockShard" {
-		if len(call.Args) == 1 && p.isWALManagerType(p.unit.info.Types[sel.X].Type) {
+		if len(call.Args) == 1 {
+			recvT := p.unit.info.Types[sel.X].Type
 			k := "lock"
 			if name == "unlockShard" {
 				k = "unlock"
 			}
-			return latchOp{base: call.Args[0], rank: rankWALShard, kind: k}, true
+			if p.isWALManagerType(recvT) {
+				return latchOp{base: call.Args[0], rank: rankWALShard, kind: k}, true
+			}
+			if p.isBMPoolType(recvT) {
+				return latchOp{base: call.Args[0], rank: rankBMShard, kind: k}, true
+			}
 		}
 		return latchOp{}, false
 	}
@@ -612,6 +642,45 @@ func (p *pass) isWALShardType(t types.Type) bool {
 		}
 	}
 	return hasMu && hasBufOff
+}
+
+// isBMShardType recognizes internal/core's poolShard shape: a struct with a
+// mu sync.Mutex and a freeN free-list depth counter.
+func (p *pass) isBMShardType(t types.Type) bool {
+	st := structOf(t)
+	if st == nil {
+		return false
+	}
+	var hasMu, hasFreeN bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "mu":
+			hasMu = isSyncMutex(f.Type())
+		case "freeN":
+			hasFreeN = true
+		}
+	}
+	return hasMu && hasFreeN
+}
+
+// isBMPoolType recognizes internal/core's basePool shape: a struct with a
+// shards slice and a freeLen aggregate counter.
+func (p *pass) isBMPoolType(t types.Type) bool {
+	st := structOf(t)
+	if st == nil {
+		return false
+	}
+	var hasShards, hasFreeLen bool
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "shards":
+			hasShards = true
+		case "freeLen":
+			hasFreeLen = true
+		}
+	}
+	return hasShards && hasFreeLen
 }
 
 // isWALManagerType recognizes internal/wal's Manager shape: any struct with

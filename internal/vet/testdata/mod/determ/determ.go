@@ -16,5 +16,12 @@ func Tick() int64 {
 }
 
 // LastWall is exposition-only and may read the host clock.
-//vet:allow determinism exposition-only timestamp, never feeds simulated time
+//vet:allow determinism LastWall is exposition-only, never feeds simulated time
 func LastWall() time.Time { return time.Now() }
+
+// StaleWall carries a suppression whose reason cites nothing that exists:
+// the allowlive check flags it even though the determinism finding itself
+// stays suppressed.
+func StaleWall() time.Time {
+	return time.Now() //vet:allow determinism legacy exemption kept from the prototype // want allowlive
+}

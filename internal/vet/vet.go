@@ -15,6 +15,9 @@
 //   - obsguard: calls into the observability layer (*obs.Obs, *obs.Ring,
 //     *metrics.Histogram) dominated by a nil check, protecting the ~92 ns
 //     disabled fast path.
+//   - allowlive: every //vet:allow reason names a symbol declared in its
+//     package, so suppression justifications rot visibly when the code
+//     they cite is renamed or removed.
 //
 // The implementation uses only the standard library (go/parser, go/ast,
 // go/types and the stdlib source importer) — no golang.org/x/tools — per
@@ -55,7 +58,7 @@ func (f Finding) String() string {
 }
 
 // AllChecks lists the check identifiers in their documented order.
-var AllChecks = []string{"determinism", "droppederr", "latchorder", "obsguard"}
+var AllChecks = []string{"determinism", "droppederr", "latchorder", "obsguard", "allowlive"}
 
 // Config configures a vet run. The zero value (plus Dir) analyzes every
 // non-test package under Dir with all four checks and the defaults below.
@@ -208,6 +211,9 @@ func Run(cfg Config) ([]Finding, error) {
 		}
 		if c.wants("obsguard") {
 			checkObsGuard(p)
+		}
+		if c.wants("allowlive") {
+			checkAllowLive(p)
 		}
 	}
 

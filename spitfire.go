@@ -28,6 +28,8 @@
 package spitfire
 
 import (
+	"runtime"
+
 	"github.com/spitfire-db/spitfire/internal/anneal"
 	"github.com/spitfire-db/spitfire/internal/core"
 	"github.com/spitfire-db/spitfire/internal/device"
@@ -80,19 +82,24 @@ const (
 	TierNVM  = core.TierNVM
 )
 
-// New creates a buffer manager. Unlike core.New, the facade enables the
-// background page cleaner by default (production posture); set
-// Config.Cleaner.Disable to keep the paper's inline-eviction behavior.
-// Call BufferManager.Close to stop the cleaner goroutines when done.
+// New creates a buffer manager. Unlike core.New, the facade applies the
+// production posture: the background page cleaner is enabled by default
+// (set Config.Cleaner.Disable to keep the paper's inline-eviction behavior)
+// and the buffer pools are sharded RecommendedShards() ways (set
+// Config.Shards = 1 explicitly for single-shard determinism-sensitive
+// runs). Call BufferManager.Close to stop the cleaner goroutines when done.
 func New(cfg Config) (*BufferManager, error) {
 	defaultCleanerOn(&cfg)
+	defaultShards(&cfg)
 	return core.New(cfg)
 }
 
 // Recover rebuilds a buffer manager over a surviving NVM arena (§5.2). The
-// cleaner default matches New; it starts only after the arena scan.
+// cleaner and shard defaults match New; the cleaner starts only after the
+// arena scan.
 func Recover(cfg Config) (*BufferManager, error) {
 	defaultCleanerOn(&cfg)
+	defaultShards(&cfg)
 	return core.Recover(cfg)
 }
 
@@ -102,6 +109,35 @@ func defaultCleanerOn(cfg *Config) {
 	if !cfg.Cleaner.Enable && !cfg.Cleaner.Disable {
 		cfg.Cleaner.Enable = true
 	}
+}
+
+// defaultShards applies the facade's sharded-pool default: unset (zero)
+// means RecommendedShards(). core itself keeps zero meaning single-shard so
+// core-level tests and the experiment harness stay deterministic unless
+// they opt in.
+func defaultShards(cfg *Config) {
+	if cfg.Shards == 0 {
+		cfg.Shards = RecommendedShards()
+	}
+}
+
+// RecommendedShards is the shard count the facade applies to concurrency-
+// critical structures sized by worker parallelism: buffer-pool CLOCK hands
+// and free lists (Config.Shards) and WAL append shards (WALOptions.Shards).
+// It is GOMAXPROCS clamped to [1, 64] — one shard per schedulable core
+// keeps each worker's allocations, releases and CLOCK sweeps on its own
+// shard's cache lines, while more shards than cores would only spread
+// frames thinner and raise the cross-shard steal rate. Pools additionally
+// clamp so every shard holds at least two frames.
+func RecommendedShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
 }
 
 // NewCtx creates a worker context with a fresh virtual clock.
@@ -288,13 +324,14 @@ var (
 // OpenDB opens a storage engine over a buffer manager.
 func OpenDB(opts DBOptions) (*DB, error) { return engine.Open(opts) }
 
-// RecommendedWALShards is the WALOptions.Shards value tuned by
-// BenchmarkWALAppendParallel for multi-worker commit paths: four
-// worker-affine append shards scale commit throughput with GOMAXPROCS ≥ 4
-// while keeping per-shard regions large enough that group-commit flushes
-// stay batched. The default (Shards = 1) remains the right choice for
-// single-worker and determinism-sensitive runs.
-const RecommendedWALShards = 4
+// RecommendedWALShards is the WALOptions.Shards value for multi-worker
+// commit paths. It follows RecommendedShards() — one worker-affine append
+// shard per schedulable core (BenchmarkWALAppendParallel showed commit
+// throughput scaling with the shard count up to GOMAXPROCS, while
+// per-shard regions stay large enough that group-commit flushes remain
+// batched). The WAL's own default (Shards = 1) remains the right choice
+// for single-worker and determinism-sensitive runs.
+func RecommendedWALShards() int { return RecommendedShards() }
 
 // NewWAL creates a write-ahead log manager.
 func NewWAL(opts WALOptions) (*WAL, error) { return wal.New(opts) }
