@@ -97,11 +97,37 @@ type Ctx struct {
 	// write-back pre-seeds NVM with pages showing re-eviction pressure
 	// without letting one cold sweep flood the buffer.
 	cleaner bool
+
+	// interrupt, when non-nil, is polled at the top of page-granular entry
+	// points (FetchPage, NewPage, MaterializePage). A non-nil return aborts
+	// the operation with that error before any device cost is charged — the
+	// hook a network front-end uses to cut request deadlines into the
+	// buffer-manager call path. The disabled fast path is one nil check.
+	interrupt func() error
 }
 
 // NewCtx creates a worker context with a fresh clock and the given RNG seed.
 func NewCtx(seed uint64) *Ctx {
 	return &Ctx{Clock: vclock.New(), RNG: zipf.NewRand(seed)}
+}
+
+// SetInterrupt installs (or, with nil, clears) the cancellation hook polled
+// at the start of page-granular operations. The hook runs on the worker's
+// own goroutine; returning a non-nil error makes the pending operation fail
+// with exactly that error. Server front-ends install a hook that reports the
+// request context's deadline error, so an expired request stops consuming
+// buffer-manager capacity at the next page boundary instead of running to
+// completion. The hook must be cleared (or must start returning nil) before
+// cleanup work — transaction abort, checkpointing — runs on the same Ctx,
+// or that cleanup is interrupted too.
+func (ctx *Ctx) SetInterrupt(f func() error) { ctx.interrupt = f }
+
+// interrupted polls the interrupt hook; nil means proceed.
+func (ctx *Ctx) interrupted() error {
+	if ctx.interrupt == nil {
+		return nil
+	}
+	return ctx.interrupt()
 }
 
 func (ctx *Ctx) buf() []byte {

@@ -26,6 +26,9 @@ import (
 // the per-hit-tier latency histograms and a tracer event is emitted; with
 // bm.obs nil the only cost over the raw fetch is this one nil check.
 func (bm *BufferManager) FetchPage(ctx *Ctx, pid PageID, intent Intent) (*Handle, error) {
+	if err := ctx.interrupted(); err != nil {
+		return nil, err
+	}
 	if bm.obs == nil {
 		return bm.fetchPage(ctx, pid, intent)
 	}
@@ -339,6 +342,9 @@ func (bm *BufferManager) fetchMissNVM(ctx *Ctx, d *descriptor) (*Handle, error) 
 // group-commit-style route through volatile memory); otherwise it is
 // created directly in the NVM buffer, where writes are immediately durable.
 func (bm *BufferManager) NewPage(ctx *Ctx) (PageID, *Handle, error) {
+	if err := ctx.interrupted(); err != nil {
+		return 0, nil, err
+	}
 	pid := bm.AllocatePageID()
 	h, err := bm.materialize(ctx, pid)
 	if err != nil {

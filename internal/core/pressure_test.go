@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/spitfire-db/spitfire/internal/policy"
+)
+
+// TestCtxInterrupt: an installed interrupt hook aborts FetchPage and NewPage
+// with exactly the hook's error before any work happens; clearing the hook
+// restores normal operation.
+func TestCtxInterrupt(t *testing.T) {
+	bm, err := New(Config{DRAMBytes: 4 * PageSize, Policy: policy.Policy{Dr: 1, Dw: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bm.Close()
+
+	ctx := NewCtx(1)
+	pid, h, err := bm.NewPage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+
+	sentinel := errors.New("deadline exceeded (test)")
+	ctx.SetInterrupt(func() error { return sentinel })
+
+	if _, err := bm.FetchPage(ctx, pid, ReadIntent); !errors.Is(err, sentinel) {
+		t.Fatalf("interrupted FetchPage error = %v, want %v", err, sentinel)
+	}
+	if _, _, err := bm.NewPage(ctx); !errors.Is(err, sentinel) {
+		t.Fatalf("interrupted NewPage error = %v, want %v", err, sentinel)
+	}
+
+	// A hook returning nil lets operations through.
+	calls := 0
+	ctx.SetInterrupt(func() error { calls++; return nil })
+	h, err = bm.FetchPage(ctx, pid, ReadIntent)
+	if err != nil {
+		t.Fatalf("FetchPage with nil-returning hook: %v", err)
+	}
+	h.Release()
+	if calls == 0 {
+		t.Error("interrupt hook was not polled")
+	}
+
+	ctx.SetInterrupt(nil)
+	h, err = bm.FetchPage(ctx, pid, ReadIntent)
+	if err != nil {
+		t.Fatalf("FetchPage after clearing hook: %v", err)
+	}
+	h.Release()
+}
+
+// TestPressureSignals: the Pressure snapshot tracks free-list depth and tier
+// capacities, reports absent tiers as fully free, and latches Degraded after
+// a permanent NVM failure (with the dead tier dropped from the min).
+func TestPressureSignals(t *testing.T) {
+	bm, err := New(Config{
+		DRAMBytes: 4 * PageSize,
+		NVMBytes:  8 * nvmFrameSlot,
+		Policy:    policy.SpitfireEager,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bm.Close()
+
+	p := bm.Pressure()
+	if p.DRAMFrames != 4 || p.NVMFrames != 8 {
+		t.Fatalf("frames = %d/%d, want 4/8", p.DRAMFrames, p.NVMFrames)
+	}
+	if p.DRAMFreeFrac != 1 || p.NVMFreeFrac != 1 || p.MinFreeFrac() != 1 {
+		t.Fatalf("fresh manager free fracs = %v/%v, want 1/1", p.DRAMFreeFrac, p.NVMFreeFrac)
+	}
+	if p.Degraded {
+		t.Fatal("fresh manager reports Degraded")
+	}
+
+	// Occupy DRAM frames; the free fraction must fall.
+	ctx := NewCtx(2)
+	for i := 0; i < 3; i++ {
+		_, h, err := bm.NewPage(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	p = bm.Pressure()
+	if p.DRAMFree > 1 {
+		t.Fatalf("DRAMFree = %d after filling 3 of 4 frames", p.DRAMFree)
+	}
+	if p.MinFreeFrac() >= 1 {
+		t.Fatalf("MinFreeFrac = %v after churn, want < 1", p.MinFreeFrac())
+	}
+
+	// DRAM-only hierarchy: the absent NVM tier reads as fully free.
+	bm2, err := New(Config{DRAMBytes: 4 * PageSize, Policy: policy.Policy{Dr: 1, Dw: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bm2.Close()
+	if p := bm2.Pressure(); p.NVMFreeFrac != 1 || p.NVMFrames != 0 {
+		t.Fatalf("absent NVM tier pressure = %+v, want free frac 1, 0 frames", p)
+	}
+}
+
+// TestPressureDegraded: after a permanent NVM failure Pressure reports
+// Degraded and stops counting the dead tier against MinFreeFrac.
+func TestPressureDegraded(t *testing.T) {
+	bm, _, nvmInj := faultBM(t, Config{
+		DRAMBytes: 2 * PageSize,
+		NVMBytes:  8 * nvmFrameSlot,
+		Policy:    policy.SpitfireEager,
+	})
+	seed(t, bm, 4)
+
+	ctx := NewCtx(3)
+	data := make([]byte, PageSize)
+	for pid := uint64(0); pid < 4; pid++ {
+		h, err := bm.FetchPage(ctx, pid, WriteIntent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.WriteAt(ctx, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+
+	nvmInj.FailNow()
+	for pid := uint64(0); pid < 4; pid++ {
+		h, err := bm.FetchPage(ctx, pid, WriteIntent)
+		if err != nil {
+			t.Fatalf("fetch after NVM failure: %v", err)
+		}
+		h.Release()
+	}
+	if !bm.NVMDegraded() {
+		t.Fatal("manager did not degrade")
+	}
+	p := bm.Pressure()
+	if !p.Degraded {
+		t.Fatal("Pressure.Degraded = false after permanent NVM failure")
+	}
+	if p.NVMFreeFrac != 1 || p.NVMFrames != 0 {
+		t.Fatalf("degraded NVM tier pressure = %+v, want dropped from the min", p)
+	}
+}

@@ -198,6 +198,68 @@ func (bm *BufferManager) PoolGauges() PoolGauges {
 	return g
 }
 
+// Pressure is the buffer manager's load-shedding signal set, sampled by
+// admission-control front-ends (internal/server) so they can refuse work
+// *before* the manager saturates: free-list depth per tier, the counters
+// that rise when the cleaner falls behind (foreground evictions, cleaner
+// stalls), and the permanent-degradation flag. Unlike PoolGauges it never
+// scans frame metadata — every read is one atomic load — so it is cheap
+// enough to sample on a tight monitoring loop.
+type Pressure struct {
+	// DRAMFree/NVMFree are the current free-list depths in frames;
+	// DRAMFrames/NVMFrames the tier capacities (0 when the tier is absent
+	// or, for NVM, permanently failed).
+	DRAMFree, DRAMFrames int
+	NVMFree, NVMFrames   int
+
+	// DRAMFreeFrac and NVMFreeFrac are free/capacity, reported as 1 for an
+	// absent tier so "min over tiers" works without special cases.
+	DRAMFreeFrac, NVMFreeFrac float64
+
+	// ForegroundEvicts and CleanerStalls are cumulative counters; a rising
+	// delta between two samples means allocations are outpacing the
+	// background cleaner (the onset of an eviction convoy).
+	ForegroundEvicts int64
+	CleanerStalls    int64
+
+	// Degraded latches true once the NVM tier has failed permanently and
+	// the hierarchy collapsed to two-tier DRAM–SSD mode.
+	Degraded bool
+}
+
+// MinFreeFrac returns the scarcest tier's free-list fraction.
+func (p Pressure) MinFreeFrac() float64 {
+	if p.DRAMFreeFrac < p.NVMFreeFrac {
+		return p.DRAMFreeFrac
+	}
+	return p.NVMFreeFrac
+}
+
+// Pressure samples the load-shedding signals. Safe to call concurrently
+// with a running workload; the snapshot is racy by design (monitoring data,
+// not an invariant).
+func (bm *BufferManager) Pressure() Pressure {
+	p := Pressure{DRAMFreeFrac: 1, NVMFreeFrac: 1}
+	if bm.dram != nil {
+		p.DRAMFrames = bm.dram.nFrames
+		p.DRAMFree = bm.dram.freeCount()
+		if p.DRAMFrames > 0 {
+			p.DRAMFreeFrac = float64(p.DRAMFree) / float64(p.DRAMFrames)
+		}
+	}
+	p.Degraded = bm.nvmFailed.Load()
+	if bm.nvm != nil && !p.Degraded {
+		p.NVMFrames = bm.nvm.nFrames
+		p.NVMFree = bm.nvm.freeCount()
+		if p.NVMFrames > 0 {
+			p.NVMFreeFrac = float64(p.NVMFree) / float64(p.NVMFrames)
+		}
+	}
+	p.ForegroundEvicts = bm.stats.fgEvicts.Load()
+	p.CleanerStalls = bm.stats.cleanerStalls.Load()
+	return p
+}
+
 // Inclusivity computes the paper's inclusivity ratio (§3.3):
 //
 //	#pages in both DRAM and NVM buffers / #pages in either buffer

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/spitfire-db/spitfire/internal/zipf"
+)
+
+// LoadOpts configures DriveLoad, the socket-side load driver for
+// spitfire-serve. Unlike the simulated-time experiment harness, this drives
+// a real HTTP server over real sockets, so everything here is wall-clock.
+type LoadOpts struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Clients is the number of concurrent client goroutines (default 8);
+	// each sends its own X-Client-ID so the server's per-client admission
+	// gates see distinct principals.
+	Clients int
+	// Ops is the total request budget across all clients (default 1000).
+	Ops int
+	// Keys is the key-space size (default 1024). ReadFrac is the fraction
+	// of GETs (default 0.8; the rest are PUTs). ValueSize bounds PUT
+	// payloads (default 32).
+	Keys      int
+	ReadFrac  float64
+	ValueSize int
+	// DeadlineMS, when non-zero, attaches an explicit deadline_ms to every
+	// request. Seed makes the key/op sequence reproducible.
+	DeadlineMS int
+	Seed       uint64
+}
+
+func (o *LoadOpts) setDefaults() {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Ops <= 0 {
+		o.Ops = 1000
+	}
+	if o.Keys <= 0 {
+		o.Keys = 1024
+	}
+	if o.ReadFrac <= 0 || o.ReadFrac > 1 {
+		o.ReadFrac = 0.8
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// LoadResult tallies one DriveLoad run by response class. The load-shedding
+// contract the blackbox suite asserts: Other5xx stays zero (refusals are
+// 429/503, never an uncontrolled 500) and NetErrors stays zero while the
+// server is up.
+type LoadResult struct {
+	Ops         int64         // requests actually sent
+	OK          int64         // 200/204 — accepted and completed
+	NotFound    int64         // 404 — missing key (expected for random gets)
+	Rejected429 int64         // admission queue full
+	Busy503     int64         // shed / draining / deadline / read-only
+	Conflict409 int64         // MVTO conflict after server-side retries
+	Other4xx    int64         // unexpected client errors
+	Other5xx    int64         // unexpected server errors (must stay 0)
+	NetErrors   int64         // transport-level failures
+	RetryAfter  int64         // refusals that carried a Retry-After hint
+	Elapsed     time.Duration // wall time for the whole run
+	MaxLatency  time.Duration // slowest single request
+}
+
+// String renders the tally as a one-line summary.
+func (r LoadResult) String() string {
+	return fmt.Sprintf(
+		"ops=%d ok=%d notfound=%d 429=%d 503=%d 409=%d other4xx=%d other5xx=%d neterr=%d retry_after=%d elapsed=%s max_latency=%s",
+		r.Ops, r.OK, r.NotFound, r.Rejected429, r.Busy503, r.Conflict409,
+		r.Other4xx, r.Other5xx, r.NetErrors, r.RetryAfter,
+		r.Elapsed.Round(time.Millisecond), r.MaxLatency.Round(time.Millisecond))
+}
+
+// DriveLoad fires Ops requests at a running spitfire-serve from Clients
+// concurrent goroutines and tallies the response classes. It is the
+// harness-side partner of internal/server's admission control: the CI smoke
+// and the blackbox suite use it to prove overload turns into clean 429/503
+// refusals rather than timeouts or 500s.
+func DriveLoad(opts LoadOpts) LoadResult {
+	opts.setDefaults()
+	var res LoadResult
+	var maxLat atomic.Int64
+	tally := func(code int, hdr http.Header) {
+		switch {
+		case code == http.StatusOK || code == http.StatusNoContent:
+			atomic.AddInt64(&res.OK, 1)
+		case code == http.StatusNotFound:
+			atomic.AddInt64(&res.NotFound, 1)
+		case code == http.StatusTooManyRequests:
+			atomic.AddInt64(&res.Rejected429, 1)
+		case code == http.StatusServiceUnavailable:
+			atomic.AddInt64(&res.Busy503, 1)
+		case code == http.StatusConflict:
+			atomic.AddInt64(&res.Conflict409, 1)
+		case code >= 500:
+			atomic.AddInt64(&res.Other5xx, 1)
+		default:
+			atomic.AddInt64(&res.Other4xx, 1)
+		}
+		if (code == 429 || code == 503) && hdr.Get("Retry-After") != "" {
+			atomic.AddInt64(&res.RetryAfter, 1)
+		}
+	}
+
+	perClient := opts.Ops / opts.Clients
+	extra := opts.Ops % opts.Clients
+	start := time.Now() //vet:allow determinism DriveLoad drives real sockets; its latencies are wall-clock by definition
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		n := perClient
+		if c < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			rng := zipf.NewRand(opts.Seed + uint64(c))
+			client := &http.Client{}
+			id := fmt.Sprintf("loadclient-%d", c)
+			val := bytes.Repeat([]byte{'a' + byte(c%26)}, opts.ValueSize)
+			for i := 0; i < n; i++ {
+				key := rng.Uint64n(uint64(opts.Keys))
+				var req *http.Request
+				var err error
+				url := fmt.Sprintf("%s/kv/get?key=%d", opts.BaseURL, key)
+				method := http.MethodGet
+				var body io.Reader
+				if rng.Float64() >= opts.ReadFrac {
+					url = fmt.Sprintf("%s/kv/put?key=%d", opts.BaseURL, key)
+					method = http.MethodPut
+					body = bytes.NewReader(val)
+				}
+				if opts.DeadlineMS > 0 {
+					url += fmt.Sprintf("&deadline_ms=%d", opts.DeadlineMS)
+				}
+				req, err = http.NewRequest(method, url, body)
+				if err != nil {
+					atomic.AddInt64(&res.NetErrors, 1)
+					continue
+				}
+				req.Header.Set("X-Client-ID", id)
+				atomic.AddInt64(&res.Ops, 1)
+				t0 := time.Now() //vet:allow determinism DriveLoad drives real sockets; its latencies are wall-clock by definition
+				resp, err := client.Do(req)
+				if lat := time.Since(t0).Nanoseconds(); lat > maxLat.Load() { //vet:allow determinism DriveLoad drives real sockets; its latencies are wall-clock by definition
+					maxLat.Store(lat)
+				}
+				if err != nil {
+					atomic.AddInt64(&res.NetErrors, 1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				tally(resp.StatusCode, resp.Header)
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start) //vet:allow determinism DriveLoad drives real sockets; its latencies are wall-clock by definition
+	res.MaxLatency = time.Duration(maxLat.Load())
+	return res
+}

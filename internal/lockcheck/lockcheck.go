@@ -144,6 +144,7 @@ func Release(obj any, rank int) {
 	for i := len(stack) - 1; i >= 0; i-- {
 		if stack[i].obj == obj && stack[i].rank == rank {
 			stack = append(stack[:i], stack[i+1:]...)
+			noteReleased(obj, g)
 			break
 		}
 	}
@@ -203,6 +204,10 @@ func check(obj any, rank int, blocking bool) {
 				rankName(rank), obj, rankName(h.rank), h.obj)
 		}
 	}
+	if blocking {
+		noteWait(obj, rank, g, stack)
+	}
+	noteAcquired(obj, g)
 	e := held{obj: obj, rank: rank}
 	e.npc = runtime.Callers(3, e.pcs[:])
 	s.byGoro[g] = append(stack, e)

@@ -27,3 +27,12 @@ func Acquired(obj any, rank int) {}
 
 // Release is a no-op without the lockcheck build tag.
 func Release(obj any, rank int) {}
+
+// EnableWaitGraph is a no-op without the lockcheck build tag.
+func EnableWaitGraph() {}
+
+// DisableWaitGraph is a no-op without the lockcheck build tag.
+func DisableWaitGraph() {}
+
+// WaitGraphReport returns nil without the lockcheck build tag.
+func WaitGraphReport() []string { return nil }

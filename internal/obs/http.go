@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -39,6 +41,22 @@ func (o *Obs) Serve(addr string) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{obs: o, ln: ln}
+	s.srv = &http.Server{Handler: s.mux()}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Handler returns the exposition endpoints as an http.Handler, for mounting
+// inside another server's mux (spitfire-serve embeds it under its own
+// listener instead of opening a second port). The handler keeps its own
+// snapshot-delta state, independent of any Serve instance.
+func (o *Obs) Handler() http.Handler {
+	s := &Server{obs: o}
+	return s.mux()
+}
+
+// mux builds the endpoint routing table shared by Serve and Handler.
+func (s *Server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot.json", s.handleSnapshot)
@@ -56,9 +74,7 @@ func (o *Obs) Serve(addr string) (*Server, error) {
 		}
 		fmt.Fprint(w, "spitfire obs endpoints: /metrics /snapshot.json /trace.json /events.jsonl /debug/pprof/\n")
 	})
-	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln)
-	return s, nil
+	return mux
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -77,9 +93,44 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	s.obs.WriteChromeTrace(w)
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+// handleEvents serves the merged event snapshot as JSONL. An optional
+// ?pid=<page-id> query (repeatable, comma-separable) narrows the export to
+// events touching those logical pages — the per-page forensic view used when
+// chasing a single page's migration history.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	keep, err := pageFilter(r.URL.Query()["pid"])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	s.obs.WriteJSONL(w)
+	s.obs.WriteJSONLFiltered(w, keep)
+}
+
+// pageFilter parses pid query values ("7", "7,9") into an event predicate.
+// No values means no filtering (nil predicate).
+func pageFilter(vals []string) (func(Event) bool, error) {
+	if len(vals) == 0 {
+		return nil, nil
+	}
+	pids := map[uint64]bool{}
+	for _, v := range vals {
+		for _, part := range strings.Split(v, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			pid, err := strconv.ParseUint(part, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bad pid %q: %v", part, err)
+			}
+			pids[pid] = true
+		}
+	}
+	if len(pids) == 0 {
+		return nil, nil
+	}
+	return func(ev Event) bool { return ev.Page != NoPage && pids[ev.Page] }, nil
 }
 
 // handleSnapshot serves a JSON snapshot: absolute counters and gauges from

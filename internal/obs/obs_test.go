@@ -408,3 +408,61 @@ func TestStartProgress(t *testing.T) {
 type writerFunc func([]byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestJSONLPageFilter: WriteJSONLFiltered and the /events.jsonl?pid= query
+// restrict the export to events touching the requested pages.
+func TestJSONLPageFilter(t *testing.T) {
+	o := New(Config{RingSize: 16})
+	r := o.NewRing("w")
+	r.Emit(Event{TS: 1, Type: EvFetch, From: TierSSD, To: TierDRAM, Page: 7})
+	r.Emit(Event{TS: 2, Type: EvEvict, From: TierDRAM, To: TierNVM, Page: 9})
+	r.Emit(Event{TS: 3, Type: EvWALFlush, Page: NoPage})
+
+	var buf bytes.Buffer
+	if err := o.WriteJSONLFiltered(&buf, func(ev Event) bool { return ev.Page == 7 }); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], `"page":7`) {
+		t.Fatalf("filtered export = %q, want exactly the page-7 event", buf.String())
+	}
+
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/events.jsonl?pid=9")
+	if code != http.StatusOK {
+		t.Fatalf("?pid=9 status = %d", code)
+	}
+	if strings.Count(strings.TrimSpace(body), "\n")+1 != 1 || !strings.Contains(body, `"page":9`) {
+		t.Fatalf("?pid=9 body = %q, want only the page-9 event", body)
+	}
+	// Multi-pid (comma form) keeps both pages but still drops NoPage events.
+	code, body = get("/events.jsonl?pid=7,9")
+	if code != http.StatusOK || strings.Contains(body, "wal-flush") {
+		t.Fatalf("?pid=7,9 = %d %q, want both page events and no wal-flush", code, body)
+	}
+	if !strings.Contains(body, `"page":7`) || !strings.Contains(body, `"page":9`) {
+		t.Fatalf("?pid=7,9 body = %q, want pages 7 and 9", body)
+	}
+	// No filter exports everything, including NoPage events.
+	if _, body = get("/events.jsonl"); !strings.Contains(body, "wal-flush") {
+		t.Fatalf("unfiltered export lost the NoPage event: %q", body)
+	}
+	// Garbage pid is a client error, not a 200 with everything.
+	if code, _ = get("/events.jsonl?pid=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("?pid=bogus status = %d, want 400", code)
+	}
+}

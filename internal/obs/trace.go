@@ -258,8 +258,18 @@ func (o *Obs) events() []tracedEvent {
 // WriteJSONL writes the merged event snapshot as JSON Lines: one event
 // object per line, sorted by virtual timestamp.
 func (o *Obs) WriteJSONL(w io.Writer) error {
+	return o.WriteJSONLFiltered(w, nil)
+}
+
+// WriteJSONLFiltered is WriteJSONL restricted to events matching keep. A nil
+// keep exports everything. The exposition server uses this for per-page-id
+// trace filtering (/events.jsonl?pid=N).
+func (o *Obs) WriteJSONLFiltered(w io.Writer, keep func(Event) bool) error {
 	bw := bufio.NewWriter(w)
 	for _, ev := range o.events() {
+		if keep != nil && !keep(ev.Event) {
+			continue
+		}
 		page := ""
 		if ev.Page != NoPage {
 			page = fmt.Sprintf(`,"page":%d`, ev.Page)

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission refusal reasons. The handlers map these onto HTTP statuses:
+// a full queue is the client's pace problem (429 Too Many Requests), while
+// shedding and queue-deadline expiry are the server's capacity problem
+// (503 Service Unavailable). Both carry Retry-After.
+var (
+	ErrQueueFull = errors.New("server: admission queue full")
+	ErrShedding  = errors.New("server: shedding load under buffer pressure")
+	ErrExpired   = errors.New("server: deadline expired while queued")
+)
+
+// gate is one bounded admission stage: at most cap(slots) concurrent
+// holders, and at most queueCap waiters parked behind them. Everything past
+// that is refused immediately — the queue is the only place a request ever
+// waits, so total latency stays bounded by the request deadline.
+type gate struct {
+	slots    chan struct{}
+	queueCap int64
+	queued   atomic.Int64
+}
+
+func newGate(capacity, queueCap int) *gate {
+	return &gate{slots: make(chan struct{}, capacity), queueCap: int64(queueCap)}
+}
+
+// acquire takes a slot, queuing up to the gate's cap while ctx lives.
+// noQueue (load shedding) refuses to wait at all: under buffer-pool
+// pressure a parked request only deepens the eviction convoy it would
+// eventually join.
+func (g *gate) acquire(ctx context.Context, noQueue bool) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if noQueue {
+		return ErrShedding
+	}
+	if g.queued.Add(1) > g.queueCap {
+		g.queued.Add(-1)
+		return ErrQueueFull
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ErrExpired
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// inflight reports the number of currently held slots.
+func (g *gate) inflight() int64 { return int64(len(g.slots)) }
+
+// clientGate is a per-client gate plus the registry refcount that lets the
+// admitter drop idle clients (one entry per *active* client, not per client
+// ever seen — a scan of misbehaving client IDs cannot grow the map without
+// also holding requests open).
+type clientGate struct {
+	*gate
+	refs int
+}
+
+// admitter is the two-stage admission controller: a per-client gate bounds
+// any one client's share, then the global gate bounds the process. Slots are
+// acquired client-first so a client storm fills its own queue and starts
+// eating 429s before it can saturate the global queue everyone shares.
+type admitter struct {
+	global      *gate
+	perInflight int
+	perQueue    int
+
+	mu      sync.Mutex
+	clients map[string]*clientGate
+}
+
+func newAdmitter(maxInflight, queueDepth, perInflight, perQueue int) *admitter {
+	return &admitter{
+		global:      newGate(maxInflight, queueDepth),
+		perInflight: perInflight,
+		perQueue:    perQueue,
+		clients:     make(map[string]*clientGate),
+	}
+}
+
+// admit reserves capacity for one request from client. On success it
+// returns an idempotent release func; on refusal it returns one of
+// ErrQueueFull, ErrShedding, ErrExpired.
+func (a *admitter) admit(ctx context.Context, client string, noQueue bool) (func(), error) {
+	cg := a.checkout(client)
+	if err := cg.acquire(ctx, noQueue); err != nil {
+		a.checkin(client, cg)
+		return nil, err
+	}
+	if err := a.global.acquire(ctx, noQueue); err != nil {
+		cg.release()
+		a.checkin(client, cg)
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.global.release()
+			cg.release()
+			a.checkin(client, cg)
+		})
+	}, nil
+}
+
+// checkout returns client's gate, creating it on first use.
+func (a *admitter) checkout(client string) *clientGate {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cg := a.clients[client]
+	if cg == nil {
+		cg = &clientGate{gate: newGate(a.perInflight, a.perQueue)}
+		a.clients[client] = cg
+	}
+	cg.refs++
+	return cg
+}
+
+// checkin drops one reference; the last reference retires the gate.
+func (a *admitter) checkin(client string, cg *clientGate) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cg.refs--
+	if cg.refs == 0 {
+		delete(a.clients, client)
+	}
+}
+
+// gauges reports instantaneous admission occupancy.
+func (a *admitter) gauges() (inflight, queued int64, clients int) {
+	a.mu.Lock()
+	clients = len(a.clients)
+	a.mu.Unlock()
+	return a.global.inflight(), a.global.queued.Load(), clients
+}
