@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReviewDeleteThenPutSameTxn(t *testing.T) {
+	db, kv := newTestKV(t)
+	ctx := newCtx(42)
+	txn := db.Begin()
+	if err := kv.Put(ctx, txn, 7, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	txn = db.Begin()
+	if err := kv.Delete(ctx, txn, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(ctx, txn, 7, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	txn = db.Begin()
+	got, err := kv.Get(ctx, txn, 7)
+	if errors.Is(err, ErrNotFound) {
+		t.Fatalf("key 7 lost after delete-then-put in one txn: %v", err)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("got %q want v2", got)
+	}
+	txn.Commit(ctx)
+}
